@@ -1,0 +1,65 @@
+// Ablation: operation latency percentiles under the paper's mixed
+// workload (40% lookup / 40% range / 20% modify, 100K elements, 4
+// lists). The paper reports throughput only; tail latency is what an
+// in-memory-database integrator (§4) would ask next. Expected shape:
+// Leap-LT's transaction-free lookups give the flattest lookup tail; its
+// short locking transactions keep update p99 well below COP/tm, whose
+// transactions carry full node-content write sets; the rwlock variant
+// shows the classic convoy tail on reads whenever a writer holds the
+// lock.
+#include <iomanip>
+#include <sstream>
+
+#include "fig_common.hpp"
+
+using namespace leap::bench;
+
+namespace {
+
+std::string us(std::uint64_t nanos) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(1)
+      << static_cast<double>(nanos) / 1000.0;
+  return out.str();
+}
+
+template <typename ListT>
+void add_rows(Table& table, const char* name, const WorkloadConfig& cfg) {
+  harness::LeapAdapter<ListT> adapter(cfg);
+  WorkloadConfig warmup = cfg;
+  warmup.duration = leap::harness::warmup_duration(cfg.duration);
+  (void)harness::run_throughput(adapter, warmup);
+  const harness::LatencyResult result = harness::run_latency(adapter, cfg);
+  const auto row = [&](const char* op, const harness::LatencyHistogram& h) {
+    table.add_row({std::string(name) + " " + op, us(h.percentile(0.50)),
+                   us(h.percentile(0.95)), us(h.percentile(0.99)),
+                   us(h.percentile(0.999)), std::to_string(h.samples())});
+  };
+  row("update", result.update);
+  row("lookup", result.lookup);
+  row("range", result.range);
+}
+
+}  // namespace
+
+int main() {
+  WorkloadConfig cfg = paper_config();
+  cfg.mix = Mix::read_dominated();
+  cfg.threads = leap::harness::thread_sweep().back();
+  cfg.duration = leap::harness::bench_duration(std::chrono::milliseconds(400));
+
+  print_figure_header(
+      std::cout, "Ablation: latency percentiles (us)",
+      "40/40/20 mix, 100K elements, 4 lists, " +
+          std::to_string(cfg.threads) + " threads",
+      "LT: flat lookup tail (no transactions) and short-txn update tail; "
+      "COP/tm updates drag content-sized write sets into p99");
+
+  Table table({"variant op", "p50", "p95", "p99", "p99.9", "samples"});
+  add_rows<leap::core::LeapListLT>(table, "LT", cfg);
+  add_rows<leap::core::LeapListCOP>(table, "COP", cfg);
+  add_rows<leap::core::LeapListTM>(table, "tm", cfg);
+  add_rows<leap::core::LeapListRW>(table, "rwlock", cfg);
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Ablation: the node-size (K) trade-off that justifies the paper's
+// K = 300 (§3, footnote 2: "experimentally found these values achieve
+// good performance").
+//
+// Large K makes range queries cheaper (fewer instrumented node hops per
+// span) but updates dearer (every update copies a whole node). The sweep
+// prints LT throughput per K for a modify-only, a range-only, and the
+// paper's mixed workload.
+#include "fig_common.hpp"
+
+using namespace leap::bench;
+
+int main() {
+  const auto duration = leap::harness::bench_duration(
+      std::chrono::milliseconds(200));
+  const int repeats = leap::harness::bench_repeats(1);
+  const unsigned threads = leap::harness::thread_sweep().back();
+  const std::size_t node_sizes[] = {16, 64, 150, 300, 600};
+
+  print_figure_header(
+      std::cout, "Ablation: node size K",
+      "Leap-LT, 100K elements, 4 lists, max threads",
+      "updates degrade with K (node copies); range queries improve with K "
+      "(fewer hops); K~300 balances the paper's mixed workload");
+
+  Table table({"K", "100% modify", "100% range", "40/40/20 mix",
+               "nodes/list"});
+  for (const std::size_t node_size : node_sizes) {
+    WorkloadConfig cfg = paper_config();
+    cfg.params.node_size = node_size;
+    cfg.threads = threads;
+    cfg.duration = duration;
+
+    cfg.mix = Mix::modify_only();
+    const double modify =
+        harness::run_workload<LeapAdapter<leap::core::LeapListLT>>(cfg,
+                                                                   repeats)
+            .ops_per_sec;
+    cfg.mix = Mix::range_only();
+    const double range =
+        harness::run_workload<LeapAdapter<leap::core::LeapListLT>>(cfg,
+                                                                   repeats)
+            .ops_per_sec;
+    cfg.mix = Mix::read_dominated();
+    const double mixed =
+        harness::run_workload<LeapAdapter<leap::core::LeapListLT>>(cfg,
+                                                                   repeats)
+            .ops_per_sec;
+
+    const std::size_t nodes =
+        cfg.initial_size / std::max<std::size_t>(1, node_size / 2);
+    table.add_row({std::to_string(node_size), Table::format_ops(modify),
+                   Table::format_ops(range), Table::format_ops(mixed),
+                   std::to_string(nodes)});
+  }
+  table.print(std::cout);
+  return 0;
+}

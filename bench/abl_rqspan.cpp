@@ -1,0 +1,55 @@
+// Ablation: range-query cost versus span width.
+//
+// The LT range query pays one instrumented access per node, i.e. per
+// ~K/2 keys; the Skip-cas scan pays one (unsynchronized) hop per key but
+// returns a possibly-inconsistent result. The crossover as spans grow is
+// the "K times faster" claim of the abstract.
+#include "fig_common.hpp"
+
+using namespace leap::bench;
+
+int main() {
+  const auto duration = leap::harness::bench_duration(
+      std::chrono::milliseconds(200));
+  const int repeats = leap::harness::bench_repeats(1);
+  const unsigned threads = leap::harness::thread_sweep().back();
+  const std::uint64_t spans[] = {10, 100, 500, 1000, 2000, 10000};
+
+  print_figure_header(
+      std::cout, "Ablation: range-query span",
+      "100% range queries, 100K elements, 1 list, max threads",
+      "Leap-LT advantage grows with the span (one instrumented access per "
+      "K-key node vs per-key hops)");
+
+  Table table({"span", "Leap-LT", "Skip-cas", "Skip-tm", "LT/cas", "LT/tm"});
+  for (const std::uint64_t span : spans) {
+    WorkloadConfig cfg = paper_config();
+    cfg.mix = Mix::range_only();
+    cfg.lists = 1;
+    cfg.threads = threads;
+    cfg.duration = duration;
+    cfg.rq_span_min = span;
+    cfg.rq_span_max = span;
+    WorkloadConfig skip_cfg = cfg;
+    skip_cfg.params.max_level = 20;
+
+    const double lt =
+        harness::run_workload<LeapAdapter<leap::core::LeapListLT>>(cfg,
+                                                                   repeats)
+            .ops_per_sec;
+    const double cas =
+        harness::run_workload<SkipAdapter<leap::skip::SkipListCAS>>(skip_cfg,
+                                                                    repeats)
+            .ops_per_sec;
+    const double tm =
+        harness::run_workload<SkipAdapter<leap::skip::SkipListTM>>(skip_cfg,
+                                                                   repeats)
+            .ops_per_sec;
+    table.add_row({std::to_string(span), Table::format_ops(lt),
+                   Table::format_ops(cas), Table::format_ops(tm),
+                   Table::format_ratio(lt / std::max(cas, 1.0)),
+                   Table::format_ratio(lt / std::max(tm, 1.0))});
+  }
+  table.print(std::cout);
+  return 0;
+}

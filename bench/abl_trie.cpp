@@ -1,0 +1,85 @@
+// Ablation: is the embedded bitwise trie worth it?
+//
+// The paper adopts the String-B-tree trie "to facilitate fast lookups
+// when K is large" (§1.2). This microbenchmark compares in-node key ->
+// index resolution via the trie against plain binary search on the
+// sorted key array, across node sizes, plus the build cost updates pay.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "trie/bit_trie.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using leap::trie::BitTrie;
+
+std::vector<std::int64_t> make_keys(std::size_t count, std::uint64_t seed) {
+  // Keys drawn the way leap-list nodes see them: a contiguous-ish range
+  // slice (paper: keys 0..100000 over ~300-key nodes).
+  leap::util::Xoshiro256 rng(seed);
+  std::vector<std::int64_t> keys;
+  std::int64_t next = static_cast<std::int64_t>(rng.next_below(1000));
+  for (std::size_t i = 0; i < count; ++i) {
+    next += 1 + static_cast<std::int64_t>(rng.next_below(5));
+    keys.push_back(next);
+  }
+  return keys;
+}
+
+void BM_TrieGetIndex(benchmark::State& state) {
+  const auto keys = make_keys(static_cast<std::size_t>(state.range(0)), 42);
+  const BitTrie trie = BitTrie::build(keys);
+  leap::util::Xoshiro256 rng(7);
+  for (auto _ : state) {
+    const auto probe = keys[rng.next_below(keys.size())];
+    benchmark::DoNotOptimize(trie.get_index(keys, probe));
+  }
+}
+BENCHMARK(BM_TrieGetIndex)->Arg(16)->Arg(64)->Arg(150)->Arg(300)->Arg(1000);
+
+void BM_BinarySearchGetIndex(benchmark::State& state) {
+  const auto keys = make_keys(static_cast<std::size_t>(state.range(0)), 42);
+  leap::util::Xoshiro256 rng(7);
+  for (auto _ : state) {
+    const auto probe = keys[rng.next_below(keys.size())];
+    const auto it = std::lower_bound(keys.begin(), keys.end(), probe);
+    const int index =
+        (it != keys.end() && *it == probe)
+            ? static_cast<int>(it - keys.begin())
+            : -1;
+    benchmark::DoNotOptimize(index);
+  }
+}
+BENCHMARK(BM_BinarySearchGetIndex)
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(150)
+    ->Arg(300)
+    ->Arg(1000);
+
+void BM_TrieGetIndexMiss(benchmark::State& state) {
+  const auto keys = make_keys(static_cast<std::size_t>(state.range(0)), 42);
+  const BitTrie trie = BitTrie::build(keys);
+  leap::util::Xoshiro256 rng(9);
+  for (auto _ : state) {
+    // Probes adjacent to present keys: worst case for the leaf compare.
+    const auto probe = keys[rng.next_below(keys.size())] + 1;
+    benchmark::DoNotOptimize(trie.get_index(keys, probe));
+  }
+}
+BENCHMARK(BM_TrieGetIndexMiss)->Arg(300);
+
+void BM_TrieBuild(benchmark::State& state) {
+  const auto keys = make_keys(static_cast<std::size_t>(state.range(0)), 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BitTrie::build(keys));
+  }
+}
+BENCHMARK(BM_TrieBuild)->Arg(16)->Arg(150)->Arg(300)->Arg(1000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,146 @@
+// Application benchmark: the paper's future-work claim — Leap-List
+// indexes replacing locked ordered-tree (B-tree-class) indexes in an
+// in-memory database.
+//
+// Workloads over a products table (3 indexed columns):
+//   ingest   100% insert/erase churn (atomic 4-index maintenance)
+//   lookup   100% primary-key gets
+//   report   100% secondary-index range scans
+//   mixed    60% get / 30% scan / 10% churn
+//
+// Series: LeapTable (Leap-LT indexes) vs LockedTreeTable (std::map
+// red-black trees behind one reader-writer lock).
+#include <atomic>
+#include <iostream>
+#include <thread>
+
+#include "db/leap_table.hpp"
+#include "db/locked_table.hpp"
+#include "harness/table.hpp"
+#include "harness/driver.hpp"
+#include "harness/workload.hpp"
+#include "util/random.hpp"
+#include "util/spin_barrier.hpp"
+
+using namespace leap::db;
+using leap::harness::Table;
+
+namespace {
+
+constexpr RowId kRows = 50000;
+
+Schema product_schema() {
+  Schema schema;
+  schema.columns = {"price", "stock", "category"};
+  schema.indexed_columns = {0, 1, 2};
+  return schema;
+}
+
+Row random_row(RowId id, leap::util::Xoshiro256& rng) {
+  return Row{id,
+             {static_cast<ColumnValue>(rng.next_below(100000)),
+              static_cast<ColumnValue>(rng.next_below(1000)),
+              static_cast<ColumnValue>(rng.next_below(16))}};
+}
+
+struct MixSpec {
+  const char* name;
+  int get_pct;
+  int scan_pct;  // rest = churn (erase+insert)
+};
+
+template <typename TableT>
+double run_db_workload(const MixSpec& mix, unsigned threads,
+                       std::chrono::milliseconds duration) {
+  TableT table = [] {
+    if constexpr (std::is_same_v<TableT, LeapTable>) {
+      return TableT(product_schema());
+    } else {
+      return TableT(product_schema());
+    }
+  }();
+  {
+    leap::util::Xoshiro256 rng(11);
+    for (RowId id = 1; id <= kRows; ++id) table.insert(random_row(id, rng));
+  }
+  std::atomic<bool> stop{false};
+  std::atomic<bool> measuring{false};
+  std::vector<std::uint64_t> ops(threads, 0);
+  leap::util::SpinBarrier barrier(threads + 1);
+  std::vector<std::thread> workers;
+  for (unsigned t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      leap::util::Xoshiro256 rng(7000 + t);
+      std::vector<Row> out;
+      const auto work_one = [&] {
+        const int dial = static_cast<int>(rng.next_below(100));
+        const RowId id = 1 + rng.next_below(kRows);
+        if (dial < mix.get_pct) {
+          const auto row = table.get(id);
+          asm volatile("" : : "g"(&row) : "memory");
+        } else if (dial < mix.get_pct + mix.scan_pct) {
+          const auto low = static_cast<ColumnValue>(rng.next_below(95000));
+          table.scan(0, low, low + 2000, out);
+        } else {
+          table.erase(id);
+          table.insert(random_row(id, rng));
+        }
+      };
+      barrier.arrive_and_wait();
+      // Unmeasured warm-up (allocator pools, caches, page faults).
+      while (!measuring.load(std::memory_order_acquire)) work_one();
+      std::uint64_t local = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        work_one();
+        ++local;
+      }
+      ops[t] = local;
+    });
+  }
+  barrier.arrive_and_wait();
+  std::this_thread::sleep_for(leap::harness::warmup_duration(duration));
+  measuring.store(true, std::memory_order_release);
+  const auto start = std::chrono::steady_clock::now();
+  std::this_thread::sleep_for(duration);
+  stop.store(true);
+  for (auto& worker : workers) worker.join();
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  std::uint64_t total = 0;
+  for (const auto count : ops) total += count;
+  return static_cast<double>(total) / seconds;
+}
+
+}  // namespace
+
+int main() {
+  const auto duration = leap::harness::bench_duration(
+      std::chrono::milliseconds(300));
+  const unsigned threads = leap::harness::thread_sweep().back();
+
+  leap::harness::print_figure_header(
+      std::cout, "Application: in-memory DB indexes (paper sec 4 future work)",
+      "50K-row table, 3 secondary indexes, " + std::to_string(threads) +
+          " threads",
+      "Leap-List indexes should win once scans/gets run concurrently with "
+      "churn; the locked tree serializes everything");
+
+  const MixSpec mixes[] = {
+      {"ingest (100% churn)", 0, 0},
+      {"lookup (100% get)", 100, 0},
+      {"report (100% scan)", 0, 100},
+      {"mixed (60/30/10)", 60, 30},
+  };
+  Table table({"workload", "LeapTable", "LockedTree", "Leap/Locked"});
+  for (const MixSpec& mix : mixes) {
+    const double leap_ops = run_db_workload<LeapTable>(mix, threads, duration);
+    const double locked_ops =
+        run_db_workload<LockedTreeTable>(mix, threads, duration);
+    table.add_row({mix.name, Table::format_ops(leap_ops),
+                   Table::format_ops(locked_ops),
+                   Table::format_ratio(leap_ops / std::max(locked_ops, 1.0))});
+  }
+  table.print(std::cout);
+  return 0;
+}

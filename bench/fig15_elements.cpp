@@ -1,0 +1,56 @@
+// Figure 15 reproduction: throughput of the four Leap-List variants while
+// varying the initial number of elements per list (x-axis log scale in
+// the paper: 1K .. 10M), at the maximum thread count.
+//   (a) 100% modify   — paper: peak at 1M elements (fewer conflicts),
+//                        drop at 10M (long predecessor searches)
+//   (b) 100% lookup   — paper: peak at 10K elements, dropping with size
+//
+// Set LEAP_BENCH_HUGE=1 to include the 10M point (needs ~2 GB RAM and a
+// long preload).
+#include <cstdlib>
+
+#include "fig_common.hpp"
+
+using namespace leap::bench;
+
+int main() {
+  const auto duration = leap::harness::bench_duration(
+      std::chrono::milliseconds(200));
+  const int repeats = leap::harness::bench_repeats(1);
+  const unsigned threads = leap::harness::thread_sweep().back();
+
+  std::vector<std::size_t> sizes{1000, 10000, 100000, 1000000};
+  if (std::getenv("LEAP_BENCH_HUGE") != nullptr) sizes.push_back(10000000);
+
+  const struct {
+    const char* id;
+    const char* name;
+    Mix mix;
+    const char* expectation;
+  } panels[] = {
+      {"Fig 15(a)", "100% modify, element-count sweep", Mix::modify_only(),
+       "throughput peaks around 1M elements (fewer conflicts), falls at "
+       "10M (longer searches)"},
+      {"Fig 15(b)", "100% lookup, element-count sweep", Mix::lookup_only(),
+       "throughput peaks around 10K elements and falls with size"},
+  };
+
+  for (const auto& panel : panels) {
+    print_figure_header(std::cout, panel.id, panel.name, panel.expectation);
+    Table table(leap_table_headers("elements"));
+    for (const std::size_t elements : sizes) {
+      WorkloadConfig cfg = paper_config();
+      cfg.mix = panel.mix;
+      cfg.threads = threads;
+      cfg.duration = duration;
+      cfg.initial_size = elements;
+      // Keep the update rate meaningful: keys are drawn from a range that
+      // scales with the population, as in the paper's element sweep.
+      cfg.key_range = std::max<std::uint64_t>(elements, 1000);
+      const LeapRow row = measure_leap_row(cfg, repeats);
+      table.add_row(leap_row_cells(std::to_string(elements), row));
+    }
+    table.print(std::cout);
+  }
+  return 0;
+}

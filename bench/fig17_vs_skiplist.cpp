@@ -1,0 +1,92 @@
+// Figure 17 reproduction: a single Leap-LT list (L = 1) against the two
+// skip-list baselines, 1M initial elements, thread sweep:
+//   (a) 100% modify        — paper: Skip-cas wins clearly (cheap in-place
+//                             single-pair updates), Skip-tm second
+//   (b) 40/40/20 mixed     — paper: Leap-LT up to 2x over Skip-cas and
+//                             38x over Skip-tm
+//   (c) 100% lookup        — paper: Leap-LT and Skip-cas comparable,
+//                             both far above Skip-tm
+//   (d) 100% range-query   — paper: Leap-LT up to 35x over Skip-cas,
+//                             while also being linearizable
+//
+// LEAP_FIG17_ELEMENTS overrides the population (default 1000000).
+#include <cstdlib>
+
+#include "fig_common.hpp"
+
+using namespace leap::bench;
+
+namespace {
+
+std::size_t fig17_elements() {
+  const char* raw = std::getenv("LEAP_FIG17_ELEMENTS");
+  if (raw == nullptr) return 1000000;
+  const long value = std::strtol(raw, nullptr, 10);
+  return value > 0 ? static_cast<std::size_t>(value) : 1000000;
+}
+
+}  // namespace
+
+int main() {
+  const auto duration = leap::harness::bench_duration(
+      std::chrono::milliseconds(200));
+  const int repeats = leap::harness::bench_repeats(1);
+  const std::size_t elements = fig17_elements();
+
+  const struct {
+    const char* id;
+    const char* name;
+    Mix mix;
+    const char* expectation;
+  } panels[] = {
+      {"Fig 17(a)", "100% modify", Mix::modify_only(),
+       "Skip-cas much faster (single mutable pair per op); Leap-LT slowest"},
+      {"Fig 17(b)", "40% lookup / 40% range / 20% modify",
+       Mix::read_dominated(), "Leap-LT up to 2x Skip-cas, 38x Skip-tm"},
+      {"Fig 17(c)", "100% lookup", Mix::lookup_only(),
+       "Leap-LT and Skip-cas comparable; Skip-tm far behind"},
+      {"Fig 17(d)", "100% range-query", Mix::range_only(),
+       "Leap-LT up to 35x Skip-cas — and linearizable (Skip-cas is not)"},
+  };
+
+  for (const auto& panel : panels) {
+    print_figure_header(std::cout, panel.id,
+                        std::string(panel.name) + ", 1 list, " +
+                            std::to_string(elements) + " elements",
+                        panel.expectation);
+    Table table({"threads", "Leap-LT", "Skip-cas", "Skip-tm", "LT/cas",
+                 "LT/tm"});
+    for (const unsigned threads : leap::harness::thread_sweep()) {
+      WorkloadConfig cfg = paper_config();
+      cfg.mix = panel.mix;
+      cfg.lists = 1;  // single-list comparison (paper §3.1)
+      cfg.threads = threads;
+      cfg.duration = duration;
+      cfg.initial_size = elements;
+      cfg.key_range = std::max<std::uint64_t>(elements, 1000);
+      // Skip lists store one pair per node: give them the tower height
+      // a structure of this size needs.
+      WorkloadConfig skip_cfg = cfg;
+      skip_cfg.params.max_level = 20;
+
+      const double lt =
+          harness::run_workload<LeapAdapter<leap::core::LeapListLT>>(cfg,
+                                                                     repeats)
+              .ops_per_sec;
+      const double cas =
+          harness::run_workload<SkipAdapter<leap::skip::SkipListCAS>>(
+              skip_cfg, repeats)
+              .ops_per_sec;
+      const double tm =
+          harness::run_workload<SkipAdapter<leap::skip::SkipListTM>>(skip_cfg,
+                                                                     repeats)
+              .ops_per_sec;
+      table.add_row({std::to_string(threads), Table::format_ops(lt),
+                     Table::format_ops(cas), Table::format_ops(tm),
+                     Table::format_ratio(lt / std::max(cas, 1.0)),
+                     Table::format_ratio(lt / std::max(tm, 1.0))});
+    }
+    table.print(std::cout);
+  }
+  return 0;
+}

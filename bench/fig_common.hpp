@@ -1,0 +1,79 @@
+// Shared helpers for the figure-reproduction benchmarks.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "harness/adapters.hpp"
+#include "harness/driver.hpp"
+#include "harness/table.hpp"
+
+namespace leap::bench {
+
+using harness::LeapAdapter;
+using harness::Mix;
+using harness::print_figure_header;
+using harness::SkipAdapter;
+using harness::Table;
+using harness::ThroughputResult;
+using harness::WorkloadConfig;
+
+/// Results for the four Leap-List variants on one configuration, in the
+/// paper's order: LT, COP, tm, rwlock.
+struct LeapRow {
+  double lt = 0;
+  double cop = 0;
+  double tm = 0;
+  double rwlock = 0;
+};
+
+inline LeapRow measure_leap_row(const WorkloadConfig& cfg, int repeats) {
+  LeapRow row;
+  row.lt =
+      harness::run_workload<LeapAdapter<core::LeapListLT>>(cfg, repeats)
+          .ops_per_sec;
+  row.cop =
+      harness::run_workload<LeapAdapter<core::LeapListCOP>>(cfg, repeats)
+          .ops_per_sec;
+  row.tm =
+      harness::run_workload<LeapAdapter<core::LeapListTM>>(cfg, repeats)
+          .ops_per_sec;
+  row.rwlock =
+      harness::run_workload<LeapAdapter<core::LeapListRW>>(cfg, repeats)
+          .ops_per_sec;
+  return row;
+}
+
+inline std::vector<std::string> leap_row_cells(const std::string& label,
+                                               const LeapRow& row) {
+  return {label, Table::format_ops(row.lt), Table::format_ops(row.cop),
+          Table::format_ops(row.tm), Table::format_ops(row.rwlock),
+          Table::format_ratio(row.lt / std::max(row.cop, 1.0)),
+          Table::format_ratio(row.lt / std::max(row.tm, 1.0)),
+          Table::format_ratio(row.lt / std::max(row.rwlock, 1.0))};
+}
+
+inline std::vector<std::string> leap_table_headers(const std::string& x_axis) {
+  return {x_axis,     "Leap-LT", "Leap-COP", "Leap-tm",
+          "Leap-rwl", "LT/COP",  "LT/tm",    "LT/rwl"};
+}
+
+/// The paper's common settings (§3): L = 4 lists, node size 300, max
+/// level 10, keys 0..100000, range spans 1000..2000.
+inline WorkloadConfig paper_config() {
+  WorkloadConfig cfg;
+  cfg.lists = 4;
+  cfg.params = core::Params{.node_size = 300, .max_level = 10};
+  cfg.key_range = 100000;
+  cfg.rq_span_min = 1000;
+  cfg.rq_span_max = 2000;
+  cfg.initial_size = 100000;
+  return cfg;
+}
+
+}  // namespace leap::bench
+
+/// Benches are leaf translation units; a short alias keeps call sites
+/// readable.
+namespace harness = leap::harness;
