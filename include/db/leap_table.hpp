@@ -1,0 +1,146 @@
+// LeapTable: an in-memory table whose primary and secondary indexes are
+// Leap-LT lists — the paper's §4 pitch. Row storage is immutable: every
+// insert allocates a fresh row on an allocation registry (freed at
+// table destruction), so concurrent scans can dereference index words
+// without any per-row reclamation protocol.
+//
+// Secondary index keys pack (column value, row id) into one core::Key
+// so duplicate column values stay distinct; index values are pointers
+// packed into core::Value words, and scans decode rows straight from
+// the index. Index maintenance is per-index (not yet one multi-index
+// transaction — the leap list API grows that in a later PR; see
+// ROADMAP.md), so a scan racing a churned row may observe it through a
+// stale secondary entry; it never observes a torn row.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "db/schema.hpp"
+#include "leaplist/leaplist.hpp"
+
+namespace leap::db {
+
+class LeapTable {
+ public:
+  /// Row ids must fit kIdBits so (value, id) packs into a signed word.
+  static constexpr int kIdBits = 24;
+
+  explicit LeapTable(Schema schema)
+      : schema_(std::move(schema)),
+        primary_(std::make_unique<core::LeapListLT>(index_params())) {
+    for (std::size_t c : schema_.indexed_columns) {
+      (void)c;
+      secondary_.push_back(
+          std::make_unique<core::LeapListLT>(index_params()));
+    }
+  }
+
+  ~LeapTable() {
+    Stored* cur = all_rows_.load(std::memory_order_acquire);
+    while (cur != nullptr) {
+      Stored* nxt = cur->alloc_next;
+      delete cur;
+      cur = nxt;
+    }
+  }
+
+  LeapTable(const LeapTable&) = delete;
+  LeapTable& operator=(const LeapTable&) = delete;
+
+  bool insert(const Row& row) {
+    assert(row.values.size() == schema_.columns.size());
+    assert(row.id < (RowId{1} << kIdBits));
+#ifndef NDEBUG
+    // Indexed values must survive the (value << kIdBits) packing.
+    for (const std::size_t c : schema_.indexed_columns) {
+      assert(row.values[c] >= -(ColumnValue{1} << (62 - kIdBits)) &&
+             row.values[c] < (ColumnValue{1} << (62 - kIdBits)));
+    }
+#endif
+    erase(row.id);
+    Stored* stored = new Stored{row, nullptr};
+    Stored* head = all_rows_.load(std::memory_order_relaxed);
+    do {
+      stored->alloc_next = head;
+    } while (!all_rows_.compare_exchange_weak(head, stored,
+                                              std::memory_order_acq_rel));
+    const core::Value word = to_word(stored);
+    primary_->insert(static_cast<core::Key>(row.id), word);
+    for (std::size_t i = 0; i < schema_.indexed_columns.size(); ++i) {
+      const ColumnValue value = row.values[schema_.indexed_columns[i]];
+      secondary_[i]->insert(composite_key(value, row.id), word);
+    }
+    return true;
+  }
+
+  bool erase(RowId id) {
+    const auto word = primary_->get(static_cast<core::Key>(id));
+    if (!word) return false;
+    if (!primary_->erase(static_cast<core::Key>(id))) return false;
+    const Stored* stored = to_row(*word);
+    for (std::size_t i = 0; i < schema_.indexed_columns.size(); ++i) {
+      const ColumnValue value =
+          stored->row.values[schema_.indexed_columns[i]];
+      secondary_[i]->erase(composite_key(value, id));
+    }
+    return true;
+  }
+
+  std::optional<Row> get(RowId id) const {
+    const auto word = primary_->get(static_cast<core::Key>(id));
+    if (!word) return std::nullopt;
+    return to_row(*word)->row;
+  }
+
+  /// All rows whose `column` value lies in [low, high]. `column` is an
+  /// ordinal into Schema::indexed_columns.
+  void scan(std::size_t column, ColumnValue low, ColumnValue high,
+            std::vector<Row>& out) const {
+    out.clear();
+    std::vector<core::KV> hits;
+    secondary_[column]->range_query(
+        composite_key(low, 0),
+        composite_key(high, (RowId{1} << kIdBits) - 1), hits);
+    out.reserve(hits.size());
+    for (const core::KV& kv : hits) out.push_back(to_row(kv.value)->row);
+  }
+
+ private:
+  struct Stored {
+    Row row;
+    Stored* alloc_next;
+  };
+
+  static core::Params index_params() {
+    // Smaller nodes than the paper's K=300: table updates copy nodes on
+    // every index maintenance op, so cheaper copies win here.
+    return core::Params{.node_size = 64, .max_level = 12};
+  }
+
+  static core::Key composite_key(ColumnValue value, RowId id) {
+    return (static_cast<core::Key>(value) << kIdBits) |
+           static_cast<core::Key>(id);
+  }
+
+  static const Stored* to_row(core::Value word) {
+    return reinterpret_cast<const Stored*>(
+        static_cast<std::uintptr_t>(word));
+  }
+
+  static core::Value to_word(const Stored* stored) {
+    return static_cast<core::Value>(
+        reinterpret_cast<std::uintptr_t>(stored));
+  }
+
+  Schema schema_;
+  std::unique_ptr<core::LeapListLT> primary_;
+  std::vector<std::unique_ptr<core::LeapListLT>> secondary_;
+  std::atomic<Stored*> all_rows_{nullptr};
+};
+
+}  // namespace leap::db

@@ -1,0 +1,89 @@
+// The baseline LeapTable competes against in app_db: ordered red-black
+// tree indexes (std::map / std::multimap) behind one global
+// reader-writer lock — every scan blocks every writer.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <vector>
+
+#include "db/schema.hpp"
+
+namespace leap::db {
+
+class LockedTreeTable {
+ public:
+  explicit LockedTreeTable(Schema schema)
+      : state_(std::make_unique<State>()) {
+    state_->schema = std::move(schema);
+    state_->secondary.resize(state_->schema.indexed_columns.size());
+  }
+
+  bool insert(const Row& row) {
+    std::unique_lock<std::shared_mutex> lk(state_->mu);
+    erase_locked(row.id);
+    state_->primary.emplace(row.id, row);
+    for (std::size_t i = 0; i < state_->schema.indexed_columns.size(); ++i) {
+      state_->secondary[i].emplace(
+          row.values[state_->schema.indexed_columns[i]], row.id);
+    }
+    return true;
+  }
+
+  bool erase(RowId id) {
+    std::unique_lock<std::shared_mutex> lk(state_->mu);
+    return erase_locked(id);
+  }
+
+  std::optional<Row> get(RowId id) const {
+    std::shared_lock<std::shared_mutex> lk(state_->mu);
+    const auto it = state_->primary.find(id);
+    if (it == state_->primary.end()) return std::nullopt;
+    return it->second;
+  }
+
+  void scan(std::size_t column, ColumnValue low, ColumnValue high,
+            std::vector<Row>& out) const {
+    out.clear();
+    std::shared_lock<std::shared_mutex> lk(state_->mu);
+    const auto& index = state_->secondary[column];
+    for (auto it = index.lower_bound(low);
+         it != index.end() && it->first <= high; ++it) {
+      const auto row = state_->primary.find(it->second);
+      if (row != state_->primary.end()) out.push_back(row->second);
+    }
+  }
+
+ private:
+  struct State {
+    Schema schema;
+    mutable std::shared_mutex mu;
+    std::map<RowId, Row> primary;
+    std::vector<std::multimap<ColumnValue, RowId>> secondary;
+  };
+
+  bool erase_locked(RowId id) {
+    const auto it = state_->primary.find(id);
+    if (it == state_->primary.end()) return false;
+    for (std::size_t i = 0; i < state_->schema.indexed_columns.size(); ++i) {
+      const ColumnValue value =
+          it->second.values[state_->schema.indexed_columns[i]];
+      auto [lo, hi] = state_->secondary[i].equal_range(value);
+      for (auto e = lo; e != hi; ++e) {
+        if (e->second == id) {
+          state_->secondary[i].erase(e);
+          break;
+        }
+      }
+    }
+    state_->primary.erase(it);
+    return true;
+  }
+
+  std::unique_ptr<State> state_;
+};
+
+}  // namespace leap::db

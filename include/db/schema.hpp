@@ -1,0 +1,24 @@
+// Row/schema model for the in-memory-table application benchmark
+// (paper §4 future work: leap lists as database indexes).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace leap::db {
+
+using RowId = std::uint64_t;
+using ColumnValue = std::int64_t;
+
+struct Schema {
+  std::vector<std::string> columns;
+  std::vector<std::size_t> indexed_columns;
+};
+
+struct Row {
+  RowId id = 0;
+  std::vector<ColumnValue> values;
+};
+
+}  // namespace leap::db

@@ -1,0 +1,98 @@
+// Adapters presenting leap lists and skip lists to the driver through
+// one operation interface: construct-and-preload from a WorkloadConfig,
+// then op_lookup / op_range / op_modify. A workload over L lists picks
+// a list uniformly per operation (the paper's multi-list setup).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "harness/workload.hpp"
+#include "leaplist/leaplist.hpp"
+#include "leaplist/skiplist.hpp"
+#include "util/random.hpp"
+
+namespace leap::harness {
+
+template <typename ListT>
+class ListAdapterBase {
+ public:
+  using List = ListT;
+
+  explicit ListAdapterBase(const WorkloadConfig& cfg) : cfg_(cfg) {
+    std::vector<core::KV> pairs;
+    pairs.reserve(cfg_.initial_size);
+    // Evenly spread distinct keys across [1, key_range]; jitter-free so
+    // every variant preloads the identical population.
+    const std::uint64_t range = std::max<std::uint64_t>(cfg_.key_range, 1);
+    for (std::size_t j = 0; j < cfg_.initial_size; ++j) {
+      const std::uint64_t key =
+          1 + (j * range) / std::max<std::size_t>(cfg_.initial_size, 1);
+      if (!pairs.empty() &&
+          pairs.back().key == static_cast<core::Key>(key)) {
+        continue;
+      }
+      pairs.push_back(core::KV{static_cast<core::Key>(key),
+                               static_cast<core::Value>(key)});
+    }
+    for (int i = 0; i < cfg_.lists; ++i) {
+      lists_.push_back(std::make_unique<ListT>(cfg_.params));
+      lists_.back()->bulk_load(pairs);
+    }
+  }
+
+  void op_lookup(util::Xoshiro256& rng) {
+    const auto value = pick(rng).get(random_key(rng));
+    asm volatile("" : : "g"(&value) : "memory");
+  }
+
+  void op_range(util::Xoshiro256& rng, std::vector<core::KV>& buf) {
+    const std::uint64_t span =
+        cfg_.rq_span_min +
+        rng.next_below(cfg_.rq_span_max - cfg_.rq_span_min + 1);
+    const core::Key low = random_key(rng);
+    pick(rng).range_query(low, low + static_cast<core::Key>(span), buf);
+  }
+
+  void op_modify(util::Xoshiro256& rng) {
+    const core::Key key = random_key(rng);
+    ListT& list = pick(rng);
+    if ((rng.next() & 1) != 0) {
+      list.insert(key, static_cast<core::Value>(key));
+    } else {
+      list.erase(key);
+    }
+  }
+
+  const WorkloadConfig& config() const { return cfg_; }
+  ListT& list(int index) { return *lists_[index]; }
+
+ private:
+  ListT& pick(util::Xoshiro256& rng) {
+    return cfg_.lists == 1
+               ? *lists_[0]
+               : *lists_[rng.next_below(static_cast<std::uint64_t>(
+                     cfg_.lists))];
+  }
+
+  core::Key random_key(util::Xoshiro256& rng) {
+    return static_cast<core::Key>(1 + rng.next_below(cfg_.key_range));
+  }
+
+  WorkloadConfig cfg_;
+  std::vector<std::unique_ptr<ListT>> lists_;
+};
+
+template <typename LeapListT>
+class LeapAdapter : public ListAdapterBase<LeapListT> {
+ public:
+  using ListAdapterBase<LeapListT>::ListAdapterBase;
+};
+
+template <typename SkipListT>
+class SkipAdapter : public ListAdapterBase<SkipListT> {
+ public:
+  using ListAdapterBase<SkipListT>::ListAdapterBase;
+};
+
+}  // namespace leap::harness

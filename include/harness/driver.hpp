@@ -1,0 +1,206 @@
+// Multithreaded measurement loops: throughput (ops/sec over a timed
+// window) and per-operation latency histograms.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "harness/workload.hpp"
+#include "util/random.hpp"
+#include "util/spin_barrier.hpp"
+
+namespace leap::harness {
+
+struct ThroughputResult {
+  double ops_per_sec = 0;
+  std::uint64_t total_ops = 0;
+};
+
+/// Log-domain histogram: 16 sub-buckets per power-of-two nanosecond
+/// octave. percentile() returns the lower bound of the matched bucket.
+class LatencyHistogram {
+ public:
+  void record(std::uint64_t nanos) {
+    counts_[bucket_of(nanos)] += 1;
+    ++samples_;
+  }
+
+  void merge(const LatencyHistogram& other) {
+    for (std::size_t i = 0; i < kBuckets; ++i) counts_[i] += other.counts_[i];
+    samples_ += other.samples_;
+  }
+
+  std::uint64_t percentile(double q) const {
+    if (samples_ == 0) return 0;
+    const std::uint64_t target =
+        static_cast<std::uint64_t>(q * static_cast<double>(samples_ - 1));
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      seen += counts_[i];
+      if (seen > target) return lower_bound_of(i);
+    }
+    return lower_bound_of(kBuckets - 1);
+  }
+
+  std::uint64_t samples() const { return samples_; }
+
+ private:
+  static constexpr std::size_t kOctaves = 40;
+  static constexpr std::size_t kSub = 16;
+  static constexpr std::size_t kBuckets = kOctaves * kSub;
+
+  static std::size_t bucket_of(std::uint64_t nanos) {
+    if (nanos < kSub) return static_cast<std::size_t>(nanos);
+    const int msb = 63 - __builtin_clzll(nanos);
+    const std::size_t sub =
+        static_cast<std::size_t>((nanos >> (msb - 4)) & (kSub - 1));
+    const std::size_t octave = static_cast<std::size_t>(msb - 3);
+    const std::size_t index = octave * kSub + sub;
+    return index < kBuckets ? index : kBuckets - 1;
+  }
+
+  static std::uint64_t lower_bound_of(std::size_t index) {
+    if (index < kSub) return index;
+    const std::size_t octave = index / kSub;
+    const std::size_t sub = index % kSub;
+    return (std::uint64_t{1} << (octave + 3)) +
+           (static_cast<std::uint64_t>(sub) << (octave - 1));
+  }
+
+  std::uint64_t counts_[kBuckets] = {};
+  std::uint64_t samples_ = 0;
+};
+
+struct LatencyResult {
+  LatencyHistogram update;
+  LatencyHistogram lookup;
+  LatencyHistogram range;
+};
+
+namespace detail {
+
+/// One operation drawn from the mix; returns which kind ran.
+enum class OpKind { kLookup, kRange, kModify };
+
+template <typename Adapter>
+OpKind run_one(Adapter& adapter, const Mix& mix, util::Xoshiro256& rng,
+               std::vector<core::KV>& buf) {
+  const int dial = static_cast<int>(rng.next_below(100));
+  if (dial < mix.lookup_pct) {
+    adapter.op_lookup(rng);
+    return OpKind::kLookup;
+  }
+  if (dial < mix.lookup_pct + mix.range_pct) {
+    adapter.op_range(rng, buf);
+    return OpKind::kRange;
+  }
+  adapter.op_modify(rng);
+  return OpKind::kModify;
+}
+
+}  // namespace detail
+
+template <typename Adapter>
+ThroughputResult run_throughput(Adapter& adapter, const WorkloadConfig& cfg) {
+  const unsigned threads = std::max(1u, cfg.threads);
+  std::atomic<bool> stop{false};
+  std::vector<std::uint64_t> ops(threads, 0);
+  util::SpinBarrier barrier(threads + 1);
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      util::Xoshiro256 rng(0xbeef0000 + t);
+      std::vector<core::KV> buf;
+      std::uint64_t local = 0;
+      barrier.arrive_and_wait();
+      while (!stop.load(std::memory_order_relaxed)) {
+        detail::run_one(adapter, cfg.mix, rng, buf);
+        ++local;
+      }
+      ops[t] = local;
+    });
+  }
+  barrier.arrive_and_wait();
+  const auto start = std::chrono::steady_clock::now();
+  std::this_thread::sleep_for(cfg.duration);
+  stop.store(true, std::memory_order_release);
+  for (auto& worker : workers) worker.join();
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  ThroughputResult result;
+  for (const std::uint64_t count : ops) result.total_ops += count;
+  result.ops_per_sec =
+      seconds > 0 ? static_cast<double>(result.total_ops) / seconds : 0;
+  return result;
+}
+
+template <typename Adapter>
+LatencyResult run_latency(Adapter& adapter, const WorkloadConfig& cfg) {
+  const unsigned threads = std::max(1u, cfg.threads);
+  std::atomic<bool> stop{false};
+  std::vector<LatencyResult> results(threads);
+  util::SpinBarrier barrier(threads + 1);
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      util::Xoshiro256 rng(0xfeed0000 + t);
+      std::vector<core::KV> buf;
+      LatencyResult& local = results[t];
+      barrier.arrive_and_wait();
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto begin = std::chrono::steady_clock::now();
+        const detail::OpKind kind =
+            detail::run_one(adapter, cfg.mix, rng, buf);
+        const auto nanos = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - begin)
+                .count());
+        switch (kind) {
+          case detail::OpKind::kLookup:
+            local.lookup.record(nanos);
+            break;
+          case detail::OpKind::kRange:
+            local.range.record(nanos);
+            break;
+          case detail::OpKind::kModify:
+            local.update.record(nanos);
+            break;
+        }
+      }
+    });
+  }
+  barrier.arrive_and_wait();
+  std::this_thread::sleep_for(cfg.duration);
+  stop.store(true, std::memory_order_release);
+  for (auto& worker : workers) worker.join();
+  LatencyResult merged;
+  for (const LatencyResult& local : results) {
+    merged.update.merge(local.update);
+    merged.lookup.merge(local.lookup);
+    merged.range.merge(local.range);
+  }
+  return merged;
+}
+
+/// Construct, preload, warm up, and measure: best of `repeats` windows.
+template <typename Adapter>
+ThroughputResult run_workload(const WorkloadConfig& cfg, int repeats) {
+  Adapter adapter(cfg);
+  WorkloadConfig warmup = cfg;
+  warmup.duration = warmup_duration(cfg.duration);
+  (void)run_throughput(adapter, warmup);
+  ThroughputResult best;
+  for (int r = 0; r < std::max(1, repeats); ++r) {
+    const ThroughputResult result = run_throughput(adapter, cfg);
+    if (result.ops_per_sec > best.ops_per_sec) best = result;
+  }
+  return best;
+}
+
+}  // namespace leap::harness

@@ -1,0 +1,81 @@
+// Plain-text result tables and figure banners shared by every bench.
+#pragma once
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace leap::harness {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  void print(std::ostream& out) const {
+    std::vector<std::size_t> widths(headers_.size(), 0);
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      widths[c] = headers_[c].size();
+    }
+    for (const auto& row : rows_) {
+      for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+        widths[c] = std::max(widths[c], row[c].size());
+      }
+    }
+    print_row(out, headers_, widths);
+    std::size_t rule = 0;
+    for (const std::size_t w : widths) rule += w + 2;
+    out << std::string(rule, '-') << "\n";
+    for (const auto& row : rows_) print_row(out, row, widths);
+    out.flush();
+  }
+
+  /// Throughput with an engineering suffix: 12.3M, 456K, 789.
+  static std::string format_ops(double ops) {
+    std::ostringstream out;
+    out << std::fixed;
+    if (ops >= 1e6) {
+      out << std::setprecision(2) << ops / 1e6 << "M";
+    } else if (ops >= 1e3) {
+      out << std::setprecision(1) << ops / 1e3 << "K";
+    } else {
+      out << std::setprecision(0) << ops;
+    }
+    return out.str();
+  }
+
+  static std::string format_ratio(double ratio) {
+    std::ostringstream out;
+    out << std::fixed << std::setprecision(2) << ratio << "x";
+    return out.str();
+  }
+
+ private:
+  static void print_row(std::ostream& out, const std::vector<std::string>& row,
+                        const std::vector<std::size_t>& widths) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      const std::size_t width = c < widths.size() ? widths[c] : row[c].size();
+      out << std::left << std::setw(static_cast<int>(width) + 2) << row[c];
+    }
+    out << "\n";
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline void print_figure_header(std::ostream& out, const std::string& id,
+                                const std::string& name,
+                                const std::string& expectation) {
+  out << "\n== " << id << " — " << name << "\n"
+      << "   expectation: " << expectation << "\n\n";
+}
+
+}  // namespace leap::harness

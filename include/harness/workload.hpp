@@ -1,0 +1,58 @@
+// Workload description shared by the figure benches, plus the knobs
+// that let CI shrink every bench to a smoke run (LEAP_BENCH_SMOKE=1).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "leaplist/leaplist.hpp"
+
+namespace leap::harness {
+
+/// Operation mix in percent; the remainder is modify (50% insert /
+/// 50% erase at the driver).
+struct Mix {
+  int lookup_pct = 0;
+  int range_pct = 0;
+
+  static Mix modify_only() { return Mix{0, 0}; }
+  static Mix lookup_only() { return Mix{100, 0}; }
+  static Mix range_only() { return Mix{0, 100}; }
+  /// The paper's mixed workload: 40% lookup / 40% range / 20% modify.
+  static Mix read_dominated() { return Mix{40, 40}; }
+  static Mix lookup_modify(int lookup_pct) { return Mix{lookup_pct, 0}; }
+  static Mix range_modify(int range_pct) { return Mix{0, range_pct}; }
+};
+
+struct WorkloadConfig {
+  int lists = 1;
+  core::Params params{};
+  std::uint64_t key_range = 100000;     // keys drawn from [1, key_range]
+  std::uint64_t rq_span_min = 1000;
+  std::uint64_t rq_span_max = 2000;
+  std::size_t initial_size = 100000;    // preloaded pairs per list
+  Mix mix{};
+  unsigned threads = 1;
+  std::chrono::milliseconds duration{200};
+};
+
+/// True when LEAP_BENCH_SMOKE is set: every bench shrinks to seconds.
+bool smoke_mode();
+
+/// Measurement window: `preferred` normally; tiny in smoke mode;
+/// LEAP_BENCH_MS overrides both.
+std::chrono::milliseconds bench_duration(std::chrono::milliseconds preferred);
+
+/// Repeat count (best-of): `preferred` normally, 1 in smoke mode.
+int bench_repeats(int preferred);
+
+/// Thread counts to sweep: powers of two up to the hardware (capped by
+/// LEAP_BENCH_MAX_THREADS); {1, 2} in smoke mode so concurrency is
+/// still exercised. Never empty — .back() is the max thread count.
+std::vector<unsigned> thread_sweep();
+
+/// Warm-up window preceding a measurement of length `measured`.
+std::chrono::milliseconds warmup_duration(std::chrono::milliseconds measured);
+
+}  // namespace leap::harness

@@ -1,0 +1,855 @@
+// Leap list: a skiplist of fat nodes, each holding up to `node_size`
+// key/value pairs in the key range (pred.high, high], supporting
+// linearizable range queries (Avni, Shavit, Suissa — PODC 2013).
+//
+// Update model (paper §2): an update never edits a published node's
+// content. It builds replacement node(s) — a copy with the pair
+// added/removed, or a two-way split when full — and atomically swings
+// the predecessor pointers while marking the victim's next pointers.
+// Content is therefore immutable after publish, and only the `next`
+// words carry synchronization (stm::TxField). Replaced nodes are
+// reclaimed through util::ebr once no search can reference them.
+//
+// Four synchronization schemes over the same structure:
+//   LeapListLT   lock the predecessors + victim, validate, then a short
+//                transaction swings the pointers; lookups are
+//                transaction-free raw searches (marked pointers make
+//                stale traversals restart).
+//   LeapListCOP  consistency-oblivious: raw (uninstrumented) traversal,
+//                then validation + pointer swing inside one commit
+//                transaction.
+//   LeapListTM   fully transactional: even the traversal is
+//                instrumented (search_predecessors_tx).
+//   LeapListRW   global std::shared_mutex baseline.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <limits>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <vector>
+
+#include "stm/stm.hpp"
+#include "util/ebr.hpp"
+#include "util/marked_ptr.hpp"
+#include "util/random.hpp"
+
+namespace leap::core {
+
+using Key = std::int64_t;
+using Value = std::int64_t;
+
+struct KV {
+  Key key;
+  Value value;
+};
+
+/// Hard cap on index height; Params::max_level must stay below it.
+inline constexpr int kMaxHeight = 24;
+
+/// Reserved key: the rightmost data node always has high == kSentinelKey
+/// so every user key (< kSentinelKey) belongs to exactly one node.
+inline constexpr Key kSentinelKey = std::numeric_limits<Key>::max();
+
+struct Params {
+  std::size_t node_size = 300;
+  int max_level = 10;
+};
+
+struct Node {
+  Node(std::size_t capacity, int level_in, Key high_in)
+      : high(high_in), level(level_in), next(level_in) {
+    keys.reserve(capacity);
+    values.reserve(capacity);
+  }
+
+  Key high;   // inclusive upper bound of this node's key range
+  int level;  // number of index levels this node is linked at
+  std::atomic<bool> live{true};
+  /// Marked-pointer words, one per linked level; the only transactional
+  /// state in the node. Every next[i] access holds i < level by the
+  /// skiplist invariant (a level-i predecessor is linked at level i).
+  std::vector<stm::TxField<std::uint64_t>> next;
+  std::vector<Key> keys;  // sorted; immutable once published (RW excepted)
+  std::vector<Value> values;
+  std::mutex lock;  // LT per-node lock
+
+  Key high_raw() const { return high; }
+};
+
+/// User keys live strictly between the head sentinel (Key min) and the
+/// rightmost node's kSentinelKey bound.
+inline void assert_user_key([[maybe_unused]] Key key) {
+  assert(key > std::numeric_limits<Key>::min());
+  assert(key < kSentinelKey);
+}
+
+/// Sort by key; duplicate keys keep the last value (the semantics every
+/// bulk_load in this repo shares).
+inline std::vector<KV> sorted_unique(const std::vector<KV>& pairs) {
+  std::vector<KV> sorted = pairs;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const KV& a, const KV& b) { return a.key < b.key; });
+  std::vector<KV> unique;
+  unique.reserve(sorted.size());
+  for (const KV& kv : sorted) {
+    if (!unique.empty() && unique.back().key == kv.key) {
+      unique.back().value = kv.value;
+    } else {
+      unique.push_back(kv);
+    }
+  }
+  return unique;
+}
+
+struct SearchResult {
+  std::array<Node*, kMaxHeight> pa{};  // predecessor per level
+  std::array<Node*, kMaxHeight> na{};  // first node with high >= key
+};
+
+/// Uninstrumented predecessor search (the LT/COP fast path). Restarts
+/// when it steps on a marked pointer or a retired node; must run under
+/// an ebr::Guard.
+inline SearchResult search_predecessors(Node* head, int max_level, Key key) {
+  while (true) {
+    SearchResult result;
+    bool restart = false;
+    Node* x = head;
+    for (int i = max_level - 1; i >= 0 && !restart; --i) {
+      Node* x_next = nullptr;
+      while (true) {
+        const std::uint64_t word = x->next[i].load_word();
+        if (util::is_marked(word)) {
+          restart = true;
+          break;
+        }
+        x_next = util::to_ptr<Node>(word);
+        if (!x_next->live.load(std::memory_order_acquire)) {
+          restart = true;
+          break;
+        }
+        if (x_next->high_raw() >= key) break;
+        x = x_next;
+      }
+      result.pa[i] = x;
+      result.na[i] = x_next;
+    }
+    if (!restart) return result;
+  }
+}
+
+/// Fully instrumented search (what Leap-tm pays, §2.1): every pointer
+/// hop is a transactional read, validated at commit. Aborts on marks.
+inline SearchResult search_predecessors_tx(stm::Tx& tx, Node* head,
+                                           int max_level, Key key) {
+  SearchResult result;
+  Node* x = head;
+  for (int i = max_level - 1; i >= 0; --i) {
+    Node* x_next = nullptr;
+    while (true) {
+      const std::uint64_t word = x->next[i].tx_read(tx);
+      if (util::is_marked(word)) tx.abort();
+      x_next = util::to_ptr<Node>(word);
+      if (x_next->high_raw() >= key) break;
+      x = x_next;
+    }
+    result.pa[i] = x;
+    result.na[i] = x_next;
+  }
+  return result;
+}
+
+class LeapListBase {
+ public:
+  explicit LeapListBase(const Params& params) : params_(params) {
+    assert(params_.max_level >= 1 && params_.max_level <= kMaxHeight);
+    assert(params_.node_size >= 2);
+    head_ = alloc_node(params_.max_level, std::numeric_limits<Key>::min());
+    tail_ = alloc_node(params_.max_level, kSentinelKey);
+    Node* first = alloc_node(params_.max_level, kSentinelKey);
+    for (int i = 0; i < params_.max_level; ++i) {
+      head_->next[i].init(util::to_word(first));
+      first->next[i].init(util::to_word(tail_));
+      tail_->next[i].init(0);
+    }
+  }
+
+  ~LeapListBase() {
+    Node* cur = head_;
+    while (cur != tail_) {
+      Node* nxt =
+          util::to_ptr<Node>(util::without_mark(cur->next[0].load_word()));
+      delete cur;
+      cur = nxt;
+    }
+    delete tail_;
+    util::ebr::collect();
+  }
+
+  LeapListBase(const LeapListBase&) = delete;
+  LeapListBase& operator=(const LeapListBase&) = delete;
+
+  const Params& params() const { return params_; }
+
+  /// Single-threaded preload of a quiescent (freshly built) list.
+  /// Duplicate keys keep the last value; nodes are filled to half
+  /// capacity so early updates have headroom.
+  void bulk_load(const std::vector<KV>& pairs) {
+    const std::vector<KV> unique = sorted_unique(pairs);
+    for (const KV& kv : unique) assert_user_key(kv.key);
+    // Drop the existing data chain.
+    Node* cur =
+        util::to_ptr<Node>(util::without_mark(head_->next[0].load_word()));
+    while (cur != tail_) {
+      Node* nxt =
+          util::to_ptr<Node>(util::without_mark(cur->next[0].load_word()));
+      delete cur;
+      cur = nxt;
+    }
+    const std::size_t fill = std::max<std::size_t>(1, params_.node_size / 2);
+    std::array<Node*, kMaxHeight> last;
+    last.fill(head_);
+    std::size_t offset = 0;
+    std::vector<Node*> nodes;
+    while (offset < unique.size()) {
+      const std::size_t take = std::min(fill, unique.size() - offset);
+      Node* node = alloc_node(random_level(), unique[offset + take - 1].key);
+      for (std::size_t j = 0; j < take; ++j) {
+        node->keys.push_back(unique[offset + j].key);
+        node->values.push_back(unique[offset + j].value);
+      }
+      nodes.push_back(node);
+      offset += take;
+    }
+    if (nodes.empty()) {
+      nodes.push_back(alloc_node(params_.max_level, kSentinelKey));
+    }
+    nodes.back()->high = kSentinelKey;
+    for (Node* node : nodes) {
+      for (int i = 0; i < node->level; ++i) {
+        last[i]->next[i].init(util::to_word(node));
+        last[i] = node;
+      }
+    }
+    for (int i = 0; i < params_.max_level; ++i) {
+      last[i]->next[i].init(util::to_word(tail_));
+    }
+  }
+
+  /// Quiescent structural invariant check (tests / debugging only).
+  bool debug_validate() const {
+    Key prev_high = std::numeric_limits<Key>::min();
+    Node* last_data = nullptr;
+    for (Node* n = data_next(head_); n != tail_; n = data_next(n)) {
+      if (n->level < 1 || n->level > params_.max_level) return false;
+      if (n->high <= prev_high) return false;
+      if (n->keys.size() != n->values.size()) return false;
+      for (std::size_t j = 0; j < n->keys.size(); ++j) {
+        if (n->keys[j] <= prev_high || n->keys[j] > n->high) return false;
+        if (j > 0 && n->keys[j] <= n->keys[j - 1]) return false;
+      }
+      prev_high = n->high;
+      last_data = n;
+    }
+    if (last_data == nullptr || last_data->high != kSentinelKey) return false;
+    for (int i = 0; i < params_.max_level; ++i) {
+      Key level_prev = std::numeric_limits<Key>::min();
+      for (Node* n = data_next(head_, i); n != tail_; n = data_next(n, i)) {
+        if (n->level <= i) return false;
+        if (n->high <= level_prev) return false;
+        level_prev = n->high;
+      }
+    }
+    return true;
+  }
+
+  /// Quiescent element count (tests only).
+  std::size_t size_slow() const {
+    std::size_t total = 0;
+    for (Node* n = data_next(head_); n != tail_; n = data_next(n)) {
+      total += n->keys.size();
+    }
+    return total;
+  }
+
+ protected:
+  /// Replacement plan for one update: n1 (always) and n2 (splits only),
+  /// plus how many index levels the swing must rewrite.
+  struct Replacement {
+    Node* n1 = nullptr;
+    Node* n2 = nullptr;
+    int link_top = 0;
+    bool inserted = false;
+  };
+
+  Node* alloc_node(int level, Key high) const {
+    return new Node(params_.node_size + 1, level, high);
+  }
+
+  int random_level() const {
+    return util::random_geometric_level(params_.max_level);
+  }
+
+  /// Index of `key` in `n`, or -1.
+  static int find_in(const Node* n, Key key) {
+    const auto it = std::lower_bound(n->keys.begin(), n->keys.end(), key);
+    if (it == n->keys.end() || *it != key) return -1;
+    return static_cast<int>(it - n->keys.begin());
+  }
+
+  static void collect_range(const Node* n, Key low, Key high,
+                            std::vector<KV>& out) {
+    auto it = std::lower_bound(n->keys.begin(), n->keys.end(), low);
+    for (; it != n->keys.end() && *it <= high; ++it) {
+      out.push_back(KV{*it, n->values[it - n->keys.begin()]});
+    }
+  }
+
+  Replacement plan_insert(Node* n, Key key, Value value) const {
+    Replacement plan;
+    const int idx = find_in(n, key);
+    if (idx >= 0) {
+      Node* n1 = alloc_node(n->level, n->high);
+      n1->keys = n->keys;
+      n1->values = n->values;
+      n1->values[idx] = value;
+      plan.n1 = n1;
+      plan.link_top = n->level;
+      return plan;
+    }
+    if (n->keys.size() < params_.node_size) {
+      Node* n1 = alloc_node(n->level, n->high);
+      const auto pos = std::lower_bound(n->keys.begin(), n->keys.end(), key);
+      const std::size_t split = pos - n->keys.begin();
+      n1->keys.assign(n->keys.begin(), pos);
+      n1->keys.push_back(key);
+      n1->keys.insert(n1->keys.end(), pos, n->keys.end());
+      n1->values.assign(n->values.begin(), n->values.begin() + split);
+      n1->values.push_back(value);
+      n1->values.insert(n1->values.end(), n->values.begin() + split,
+                        n->values.end());
+      plan.n1 = n1;
+      plan.link_top = n->level;
+      plan.inserted = true;
+      return plan;
+    }
+    // Full node: split into n1 (new left, fresh level) and n2 (right,
+    // inheriting n's level and high — and with it the sentinel role).
+    std::vector<Key> keys;
+    std::vector<Value> values;
+    keys.reserve(n->keys.size() + 1);
+    values.reserve(n->keys.size() + 1);
+    const auto pos = std::lower_bound(n->keys.begin(), n->keys.end(), key);
+    const std::size_t split = pos - n->keys.begin();
+    keys.assign(n->keys.begin(), pos);
+    keys.push_back(key);
+    keys.insert(keys.end(), pos, n->keys.end());
+    values.assign(n->values.begin(), n->values.begin() + split);
+    values.push_back(value);
+    values.insert(values.end(), n->values.begin() + split, n->values.end());
+    const std::size_t left = (keys.size() + 1) / 2;
+    Node* n1 = alloc_node(random_level(), keys[left - 1]);
+    Node* n2 = alloc_node(n->level, n->high);
+    n1->keys.assign(keys.begin(), keys.begin() + left);
+    n1->values.assign(values.begin(), values.begin() + left);
+    n2->keys.assign(keys.begin() + left, keys.end());
+    n2->values.assign(values.begin() + left, values.end());
+    plan.n1 = n1;
+    plan.n2 = n2;
+    plan.link_top = std::max(n1->level, n->level);
+    plan.inserted = true;
+    return plan;
+  }
+
+  /// Replacement with `key` removed, or nullptr when absent.
+  Node* plan_erase(Node* n, Key key) const {
+    const int idx = find_in(n, key);
+    if (idx < 0) return nullptr;
+    Node* n1 = alloc_node(n->level, n->high);
+    n1->keys = n->keys;
+    n1->values = n->values;
+    n1->keys.erase(n1->keys.begin() + idx);
+    n1->values.erase(n1->values.begin() + idx);
+    return n1;
+  }
+
+  static void discard(Replacement& plan) {
+    delete plan.n1;
+    delete plan.n2;
+    plan.n1 = plan.n2 = nullptr;
+  }
+
+  /// Transactional pointer swing: initializes the replacement nodes'
+  /// next words from in-transaction reads of the victim's, relinks the
+  /// predecessors, and marks the victim. The victim's content must be
+  /// protected by locks (LT), validation in the same transaction (COP),
+  /// or an instrumented search (TM).
+  static void apply_swap(stm::Tx& tx, const SearchResult& sr, Node* n,
+                         const Replacement& plan) {
+    Node* n1 = plan.n1;
+    Node* n2 = plan.n2;
+    if (n2 != nullptr) {
+      for (int i = 0; i < n2->level; ++i) {
+        n2->next[i].init(n->next[i].tx_read(tx));
+      }
+      for (int i = 0; i < n1->level; ++i) {
+        n1->next[i].init(i < n2->level ? util::to_word(n2)
+                                       : util::to_word(sr.na[i]));
+      }
+    } else {
+      for (int i = 0; i < n1->level; ++i) {
+        n1->next[i].init(n->next[i].tx_read(tx));
+      }
+    }
+    for (int i = 0; i < plan.link_top; ++i) {
+      Node* target = i < n1->level ? n1 : n2;
+      sr.pa[i]->next[i].tx_write(tx, util::to_word(target));
+    }
+    for (int i = 0; i < n->level; ++i) {
+      n->next[i].tx_write(tx, util::with_mark(n->next[i].tx_read(tx)));
+    }
+  }
+
+  /// In-transaction validation that the searched window is unchanged:
+  /// every predecessor still points at the node the search saw (a
+  /// retired predecessor fails this automatically — its word is
+  /// marked), and the victim is still the cover node at every level it
+  /// occupies.
+  static bool validate_tx(stm::Tx& tx, const SearchResult& sr, Node* n,
+                          int top) {
+    for (int i = 0; i < top; ++i) {
+      if (i < n->level && sr.na[i] != n) return false;
+      if (sr.pa[i]->next[i].tx_read(tx) != util::to_word(sr.na[i])) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  Node* data_next(const Node* n, int level = 0) const {
+    return util::to_ptr<Node>(util::without_mark(n->next[level].load_word()));
+  }
+
+  Params params_;
+  Node* head_;
+  Node* tail_;
+};
+
+/// Leap-LT (paper §2.1, the winning variant): raw searches; updates
+/// lock the unique predecessor set plus the victim (address-ordered),
+/// validate, and publish with a short transaction.
+class LeapListLT : public LeapListBase {
+ public:
+  using LeapListBase::LeapListBase;
+
+  bool insert(Key key, Value value) {
+    assert_user_key(key);
+    util::ebr::Guard guard;
+    while (true) {
+      const SearchResult sr =
+          search_predecessors(head_, params_.max_level, key);
+      Node* n = sr.na[0];
+      Replacement plan = plan_insert(n, key, value);
+      if (publish_locked(sr, n, plan)) return plan.inserted;
+      discard(plan);
+    }
+  }
+
+  bool erase(Key key) {
+    util::ebr::Guard guard;
+    while (true) {
+      const SearchResult sr =
+          search_predecessors(head_, params_.max_level, key);
+      Node* n = sr.na[0];
+      Node* n1 = plan_erase(n, key);
+      if (n1 == nullptr) return false;
+      Replacement plan;
+      plan.n1 = n1;
+      plan.link_top = n->level;
+      if (publish_locked(sr, n, plan)) return true;
+      discard(plan);
+    }
+  }
+
+  /// Transaction-free lookup: the raw search only accepts live,
+  /// unmarked hops, and node content is immutable.
+  std::optional<Value> get(Key key) const {
+    util::ebr::Guard guard;
+    const SearchResult sr =
+        search_predecessors(head_, params_.max_level, key);
+    const Node* n = sr.na[0];
+    const int idx = find_in(n, key);
+    if (idx < 0) return std::nullopt;
+    return n->values[idx];
+  }
+
+  /// Linearizable range query: one transactional read per node hop
+  /// (≈ one instrumented access per K keys); commit validates the hop
+  /// chain, and immutable content makes the snapshot consistent.
+  std::size_t range_query(Key low, Key high, std::vector<KV>& out) const {
+    util::ebr::Guard guard;
+    stm::Tx& tx = stm::tls_tx();
+    while (true) {
+      const SearchResult sr =
+          search_predecessors(head_, params_.max_level, low);
+      Node* start = sr.pa[0];
+      bool restart = false;
+      stm::atomically(tx, [&](stm::Tx& t) {
+        out.clear();
+        restart = false;
+        Node* n = hop(t, start, restart);
+        if (restart) return;
+        while (true) {
+          collect_range(n, low, high, out);
+          if (n->high_raw() >= high) break;
+          n = hop(t, n, restart);
+          if (restart) return;
+        }
+      });
+      if (!restart) return out.size();
+    }
+  }
+
+ private:
+  static Node* hop(stm::Tx& tx, Node* from, bool& restart) {
+    const std::uint64_t word = from->next[0].tx_read(tx);
+    if (util::is_marked(word)) {
+      restart = true;
+      return nullptr;
+    }
+    return util::to_ptr<Node>(word);
+  }
+
+  bool publish_locked(const SearchResult& sr, Node* n,
+                      const Replacement& plan) {
+    std::array<Node*, kMaxHeight + 1> targets;
+    int count = 0;
+    targets[count++] = n;
+    for (int i = 0; i < plan.link_top; ++i) targets[count++] = sr.pa[i];
+    std::sort(targets.begin(), targets.begin() + count);
+    count = static_cast<int>(
+        std::unique(targets.begin(), targets.begin() + count) -
+        targets.begin());
+    for (int i = 0; i < count; ++i) targets[i]->lock.lock();
+    bool valid = n->live.load(std::memory_order_acquire);
+    for (int i = 0; valid && i < plan.link_top; ++i) {
+      if (i < n->level && sr.na[i] != n) valid = false;
+      if (valid &&
+          sr.pa[i]->next[i].load_word() != util::to_word(sr.na[i])) {
+        valid = false;
+      }
+    }
+    if (valid) {
+      stm::Tx& tx = stm::tls_tx();
+      stm::atomically(tx, [&](stm::Tx& t) { apply_swap(t, sr, n, plan); });
+      n->live.store(false, std::memory_order_release);
+    }
+    for (int i = count - 1; i >= 0; --i) targets[i]->lock.unlock();
+    if (valid) util::ebr::retire(n);
+    return valid;
+  }
+};
+
+/// Leap-COP (paper §2.2): consistency-oblivious — traverse raw, then
+/// validate the observed window and swing the pointers inside a single
+/// commit transaction; on validation failure, redo the traversal.
+class LeapListCOP : public LeapListBase {
+ public:
+  using LeapListBase::LeapListBase;
+
+  bool insert(Key key, Value value) {
+    assert_user_key(key);
+    util::ebr::Guard guard;
+    stm::Tx& tx = stm::tls_tx();
+    while (true) {
+      const SearchResult sr =
+          search_predecessors(head_, params_.max_level, key);
+      Node* n = sr.na[0];
+      Replacement plan = plan_insert(n, key, value);
+      bool valid = false;
+      stm::atomically(tx, [&](stm::Tx& t) {
+        valid = validate_tx(t, sr, n, plan.link_top);
+        if (valid) apply_swap(t, sr, n, plan);
+      });
+      if (valid) {
+        n->live.store(false, std::memory_order_release);
+        util::ebr::retire(n);
+        return plan.inserted;
+      }
+      discard(plan);
+    }
+  }
+
+  bool erase(Key key) {
+    util::ebr::Guard guard;
+    stm::Tx& tx = stm::tls_tx();
+    while (true) {
+      const SearchResult sr =
+          search_predecessors(head_, params_.max_level, key);
+      Node* n = sr.na[0];
+      Node* n1 = plan_erase(n, key);
+      if (n1 == nullptr) return false;
+      Replacement plan;
+      plan.n1 = n1;
+      plan.link_top = n->level;
+      bool valid = false;
+      stm::atomically(tx, [&](stm::Tx& t) {
+        valid = validate_tx(t, sr, n, plan.link_top);
+        if (valid) apply_swap(t, sr, n, plan);
+      });
+      if (valid) {
+        n->live.store(false, std::memory_order_release);
+        util::ebr::retire(n);
+        return true;
+      }
+      discard(plan);
+    }
+  }
+
+  std::optional<Value> get(Key key) const {
+    util::ebr::Guard guard;
+    stm::Tx& tx = stm::tls_tx();
+    while (true) {
+      const SearchResult sr =
+          search_predecessors(head_, params_.max_level, key);
+      Node* n = sr.na[0];
+      bool valid = false;
+      std::optional<Value> result;
+      stm::atomically(tx, [&](stm::Tx& t) {
+        result.reset();
+        valid = sr.pa[0]->next[0].tx_read(t) == util::to_word(n);
+        if (!valid) return;
+        const int idx = find_in(n, key);
+        if (idx >= 0) result = n->values[idx];
+      });
+      if (valid) return result;
+    }
+  }
+
+  std::size_t range_query(Key low, Key high, std::vector<KV>& out) const {
+    util::ebr::Guard guard;
+    stm::Tx& tx = stm::tls_tx();
+    std::vector<std::pair<stm::TxField<std::uint64_t>*, std::uint64_t>> hops;
+    while (true) {
+      out.clear();
+      hops.clear();
+      const SearchResult sr =
+          search_predecessors(head_, params_.max_level, low);
+      Node* x = sr.pa[0];
+      bool stale = false;
+      while (true) {
+        const std::uint64_t word = x->next[0].load_word();
+        if (util::is_marked(word)) {
+          stale = true;
+          break;
+        }
+        hops.emplace_back(&x->next[0], word);
+        Node* n = util::to_ptr<Node>(word);
+        collect_range(n, low, high, out);
+        if (n->high_raw() >= high) break;
+        x = n;
+      }
+      if (stale) continue;
+      bool valid = false;
+      stm::atomically(tx, [&](stm::Tx& t) {
+        valid = true;
+        for (const auto& [field, word] : hops) {
+          if (field->tx_read(t) != word) {
+            valid = false;
+            return;
+          }
+        }
+      });
+      if (valid) return out.size();
+    }
+  }
+};
+
+/// Leap-tm (paper §2.3): every operation, traversal included, runs as
+/// one fully instrumented transaction.
+class LeapListTM : public LeapListBase {
+ public:
+  using LeapListBase::LeapListBase;
+
+  bool insert(Key key, Value value) {
+    assert_user_key(key);
+    util::ebr::Guard guard;
+    stm::Tx& tx = stm::tls_tx();
+    std::vector<Node*> allocs;
+    Node* victim = nullptr;
+    bool inserted = false;
+    stm::atomically(tx, [&](stm::Tx& t) {
+      for (Node* p : allocs) delete p;
+      allocs.clear();
+      const SearchResult sr =
+          search_predecessors_tx(t, head_, params_.max_level, key);
+      Node* n = sr.na[0];
+      const Replacement plan = plan_insert(n, key, value);
+      allocs.push_back(plan.n1);
+      if (plan.n2 != nullptr) allocs.push_back(plan.n2);
+      apply_swap(t, sr, n, plan);
+      victim = n;
+      inserted = plan.inserted;
+    });
+    victim->live.store(false, std::memory_order_release);
+    util::ebr::retire(victim);
+    return inserted;
+  }
+
+  bool erase(Key key) {
+    util::ebr::Guard guard;
+    stm::Tx& tx = stm::tls_tx();
+    std::vector<Node*> allocs;
+    Node* victim = nullptr;
+    stm::atomically(tx, [&](stm::Tx& t) {
+      for (Node* p : allocs) delete p;
+      allocs.clear();
+      victim = nullptr;
+      const SearchResult sr =
+          search_predecessors_tx(t, head_, params_.max_level, key);
+      Node* n = sr.na[0];
+      Node* n1 = plan_erase(n, key);
+      if (n1 == nullptr) return;
+      allocs.push_back(n1);
+      Replacement plan;
+      plan.n1 = n1;
+      plan.link_top = n->level;
+      apply_swap(t, sr, n, plan);
+      victim = n;
+    });
+    if (victim == nullptr) return false;
+    victim->live.store(false, std::memory_order_release);
+    util::ebr::retire(victim);
+    return true;
+  }
+
+  std::optional<Value> get(Key key) const {
+    util::ebr::Guard guard;
+    stm::Tx& tx = stm::tls_tx();
+    std::optional<Value> result;
+    stm::atomically(tx, [&](stm::Tx& t) {
+      result.reset();
+      const SearchResult sr =
+          search_predecessors_tx(t, head_, params_.max_level, key);
+      const Node* n = sr.na[0];
+      const int idx = find_in(n, key);
+      if (idx >= 0) result = n->values[idx];
+    });
+    return result;
+  }
+
+  std::size_t range_query(Key low, Key high, std::vector<KV>& out) const {
+    util::ebr::Guard guard;
+    stm::Tx& tx = stm::tls_tx();
+    stm::atomically(tx, [&](stm::Tx& t) {
+      out.clear();
+      const SearchResult sr =
+          search_predecessors_tx(t, head_, params_.max_level, low);
+      Node* n = sr.na[0];
+      while (true) {
+        collect_range(n, low, high, out);
+        if (n->high_raw() >= high) break;
+        const std::uint64_t word = n->next[0].tx_read(t);
+        if (util::is_marked(word)) t.abort();
+        n = util::to_ptr<Node>(word);
+      }
+    });
+    return out.size();
+  }
+};
+
+/// Global reader-writer-lock baseline (paper's "rwlock" series).
+/// Exclusive writers may edit nodes in place; shared readers see a
+/// quiescent structure, so no marks, transactions, or EBR are needed.
+class LeapListRW : public LeapListBase {
+ public:
+  using LeapListBase::LeapListBase;
+
+  bool insert(Key key, Value value) {
+    assert_user_key(key);
+    std::unique_lock<std::shared_mutex> lk(mu_);
+    const SearchResult sr = search_predecessors(head_, params_.max_level, key);
+    Node* n = sr.na[0];
+    const int idx = find_in(n, key);
+    if (idx >= 0) {
+      n->values[idx] = value;
+      return false;
+    }
+    if (n->keys.size() < params_.node_size) {
+      const auto pos = std::lower_bound(n->keys.begin(), n->keys.end(), key);
+      n->values.insert(n->values.begin() + (pos - n->keys.begin()), value);
+      n->keys.insert(pos, key);
+      return true;
+    }
+    const Replacement plan = plan_insert(n, key, value);
+    apply_swap_plain(sr, n, plan);
+    delete n;
+    return true;
+  }
+
+  bool erase(Key key) {
+    std::unique_lock<std::shared_mutex> lk(mu_);
+    const SearchResult sr = search_predecessors(head_, params_.max_level, key);
+    Node* n = sr.na[0];
+    const int idx = find_in(n, key);
+    if (idx < 0) return false;
+    n->keys.erase(n->keys.begin() + idx);
+    n->values.erase(n->values.begin() + idx);
+    return true;
+  }
+
+  std::optional<Value> get(Key key) const {
+    std::shared_lock<std::shared_mutex> lk(mu_);
+    const SearchResult sr = search_predecessors(head_, params_.max_level, key);
+    const Node* n = sr.na[0];
+    const int idx = find_in(n, key);
+    if (idx < 0) return std::nullopt;
+    return n->values[idx];
+  }
+
+  std::size_t range_query(Key low, Key high, std::vector<KV>& out) const {
+    std::shared_lock<std::shared_mutex> lk(mu_);
+    out.clear();
+    const SearchResult sr = search_predecessors(head_, params_.max_level, low);
+    Node* n = sr.na[0];
+    while (true) {
+      collect_range(n, low, high, out);
+      if (n->high_raw() >= high) break;
+      n = data_next(n);
+    }
+    return out.size();
+  }
+
+ private:
+  void apply_swap_plain(const SearchResult& sr, Node* n,
+                        const Replacement& plan) {
+    Node* n1 = plan.n1;
+    Node* n2 = plan.n2;
+    if (n2 != nullptr) {
+      for (int i = 0; i < n2->level; ++i) {
+        n2->next[i].init(n->next[i].load_word());
+      }
+      for (int i = 0; i < n1->level; ++i) {
+        n1->next[i].init(i < n2->level ? util::to_word(n2)
+                                       : util::to_word(sr.na[i]));
+      }
+    } else {
+      for (int i = 0; i < n1->level; ++i) {
+        n1->next[i].init(n->next[i].load_word());
+      }
+    }
+    for (int i = 0; i < plan.link_top; ++i) {
+      Node* target = i < n1->level ? n1 : n2;
+      sr.pa[i]->next[i].store(util::to_word(target));
+    }
+  }
+
+  mutable std::shared_mutex mu_;
+};
+
+}  // namespace leap::core

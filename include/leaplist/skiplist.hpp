@@ -1,0 +1,410 @@
+// Skip-list baselines for the paper's §3.1 comparison (one key/value
+// pair per node, unlike the fat-node leap list):
+//
+//   SkipListCAS  lock-free skiplist in the Herlihy–Shavit style with
+//                marked next pointers. Range scans are unsynchronized —
+//                fast but NOT linearizable, which is exactly the
+//                trade-off Figure 17(d) is about. Nodes are kept on an
+//                allocation registry and reclaimed at destruction (a
+//                snipped node can remain referenced from higher index
+//                levels, so eager per-node reclamation is unsafe
+//                without a stronger protocol).
+//
+//   SkipListTM   the same structure with every access instrumented
+//                through the STM — the paper's Skip-tm straw man.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "leaplist/leaplist.hpp"
+#include "stm/stm.hpp"
+#include "util/ebr.hpp"
+#include "util/marked_ptr.hpp"
+#include "util/random.hpp"
+
+namespace leap::skip {
+
+using core::Key;
+using core::KV;
+using core::Params;
+using core::Value;
+
+class SkipListCAS {
+  struct Node {
+    Node(Key key_in, Value value_in, int level_in)
+        : key(key_in), value(value_in), level(level_in), next(level_in) {}
+    const Key key;
+    std::atomic<Value> value;
+    const int level;
+    std::vector<std::atomic<std::uint64_t>> next;  // marked words
+    std::atomic<Node*> alloc_next{nullptr};        // allocation registry
+  };
+
+ public:
+  explicit SkipListCAS(const Params& params)
+      : max_level_(params.max_level) {
+    assert(max_level_ >= 1 && max_level_ <= core::kMaxHeight);
+    head_ = register_node(
+        new Node(std::numeric_limits<Key>::min(), 0, max_level_));
+    tail_ = register_node(
+        new Node(std::numeric_limits<Key>::max(), 0, max_level_));
+    for (int i = 0; i < max_level_; ++i) {
+      head_->next[i].store(util::to_word(tail_), std::memory_order_relaxed);
+    }
+  }
+
+  ~SkipListCAS() {
+    Node* cur = all_nodes_.load(std::memory_order_acquire);
+    while (cur != nullptr) {
+      Node* nxt = cur->alloc_next.load(std::memory_order_relaxed);
+      delete cur;
+      cur = nxt;
+    }
+  }
+
+  SkipListCAS(const SkipListCAS&) = delete;
+  SkipListCAS& operator=(const SkipListCAS&) = delete;
+
+  void bulk_load(const std::vector<KV>& pairs) {
+    std::array<Node*, core::kMaxHeight> last;
+    last.fill(head_);
+    for (const KV& kv : core::sorted_unique(pairs)) {
+      Node* node = register_node(new Node(kv.key, kv.value, random_level()));
+      for (int i = 0; i < node->level; ++i) {
+        last[i]->next[i].store(util::to_word(node),
+                               std::memory_order_relaxed);
+        last[i] = node;
+      }
+    }
+    for (int i = 0; i < max_level_; ++i) {
+      last[i]->next[i].store(util::to_word(tail_),
+                             std::memory_order_relaxed);
+    }
+  }
+
+  bool insert(Key key, Value value) {
+    Node* preds[core::kMaxHeight];
+    Node* succs[core::kMaxHeight];
+    while (true) {
+      if (find(key, preds, succs)) {
+        succs[0]->value.store(value, std::memory_order_release);
+        return false;
+      }
+      Node* node = register_node(new Node(key, value, random_level()));
+      for (int i = 0; i < node->level; ++i) {
+        node->next[i].store(util::to_word(succs[i]),
+                            std::memory_order_relaxed);
+      }
+      std::uint64_t expected = util::to_word(succs[0]);
+      if (!preds[0]->next[0].compare_exchange_strong(
+              expected, util::to_word(node), std::memory_order_acq_rel)) {
+        continue;  // node stays on the registry; retry from scratch
+      }
+      for (int i = 1; i < node->level; ++i) {
+        while (true) {
+          std::uint64_t own = node->next[i].load(std::memory_order_acquire);
+          if (util::is_marked(own)) return true;  // concurrently erased
+          if (util::to_ptr<Node>(own) != succs[i] &&
+              !node->next[i].compare_exchange_strong(
+                  own, util::to_word(succs[i]), std::memory_order_acq_rel)) {
+            continue;
+          }
+          std::uint64_t want = util::to_word(succs[i]);
+          if (preds[i]->next[i].compare_exchange_strong(
+                  want, util::to_word(node), std::memory_order_acq_rel)) {
+            break;
+          }
+          find(key, preds, succs);
+          if (succs[0] != node) return true;  // removed before fully linked
+        }
+      }
+      return true;
+    }
+  }
+
+  bool erase(Key key) {
+    Node* preds[core::kMaxHeight];
+    Node* succs[core::kMaxHeight];
+    if (!find(key, preds, succs)) return false;
+    Node* victim = succs[0];
+    for (int i = victim->level - 1; i >= 1; --i) {
+      std::uint64_t w = victim->next[i].load(std::memory_order_acquire);
+      while (!util::is_marked(w)) {
+        victim->next[i].compare_exchange_weak(w, util::with_mark(w),
+                                              std::memory_order_acq_rel);
+      }
+    }
+    std::uint64_t w = victim->next[0].load(std::memory_order_acquire);
+    while (true) {
+      if (util::is_marked(w)) return false;  // lost the race
+      if (victim->next[0].compare_exchange_strong(
+              w, util::with_mark(w), std::memory_order_acq_rel)) {
+        find(key, preds, succs);  // physically unlink
+        return true;
+      }
+    }
+  }
+
+  std::optional<Value> get(Key key) const {
+    Node* pred = head_;
+    Node* curr = nullptr;
+    for (int i = max_level_ - 1; i >= 0; --i) {
+      curr = util::to_ptr<Node>(pred->next[i].load(std::memory_order_acquire));
+      while (true) {
+        std::uint64_t succw = curr->next[i].load(std::memory_order_acquire);
+        while (util::is_marked(succw)) {  // curr is logically deleted
+          curr = util::to_ptr<Node>(succw);
+          succw = curr->next[i].load(std::memory_order_acquire);
+        }
+        if (curr->key < key) {
+          pred = curr;
+          curr = util::to_ptr<Node>(succw);
+        } else {
+          break;
+        }
+      }
+    }
+    if (curr->key != key) return std::nullopt;
+    if (util::is_marked(curr->next[0].load(std::memory_order_acquire))) {
+      return std::nullopt;
+    }
+    return curr->value.load(std::memory_order_acquire);
+  }
+
+  /// Unsynchronized scan — pays one hop per key and may interleave with
+  /// concurrent updates (NOT a consistent snapshot; see Fig 17(d)).
+  std::size_t range_query(Key low, Key high, std::vector<KV>& out) const {
+    out.clear();
+    Node* pred = head_;
+    for (int i = max_level_ - 1; i >= 0; --i) {
+      Node* curr =
+          util::to_ptr<Node>(pred->next[i].load(std::memory_order_acquire));
+      while (curr->key < low) {
+        pred = curr;
+        curr =
+            util::to_ptr<Node>(curr->next[i].load(std::memory_order_acquire));
+      }
+    }
+    Node* curr =
+        util::to_ptr<Node>(pred->next[0].load(std::memory_order_acquire));
+    while (curr->key <= high && curr != tail_) {
+      const std::uint64_t succw =
+          curr->next[0].load(std::memory_order_acquire);
+      if (curr->key >= low && !util::is_marked(succw)) {
+        out.push_back(KV{curr->key, curr->value.load(std::memory_order_acquire)});
+      }
+      curr = util::to_ptr<Node>(succw);
+    }
+    return out.size();
+  }
+
+ private:
+  /// Herlihy–Shavit find: locates the window for `key` at every level
+  /// and physically snips marked nodes encountered on the way.
+  bool find(Key key, Node** preds, Node** succs) const {
+  retry:
+    Node* pred = head_;
+    for (int i = max_level_ - 1; i >= 0; --i) {
+      Node* curr =
+          util::to_ptr<Node>(pred->next[i].load(std::memory_order_acquire));
+      while (true) {
+        std::uint64_t succw = curr->next[i].load(std::memory_order_acquire);
+        while (util::is_marked(succw)) {  // snip the deleted node
+          std::uint64_t expected = util::to_word(curr);
+          if (!pred->next[i].compare_exchange_strong(
+                  expected, util::without_mark(succw),
+                  std::memory_order_acq_rel)) {
+            goto retry;
+          }
+          curr = util::to_ptr<Node>(
+              pred->next[i].load(std::memory_order_acquire));
+          succw = curr->next[i].load(std::memory_order_acquire);
+        }
+        if (curr->key < key) {
+          pred = curr;
+          curr = util::to_ptr<Node>(succw);
+        } else {
+          break;
+        }
+      }
+      preds[i] = pred;
+      succs[i] = curr;
+    }
+    return succs[0]->key == key;
+  }
+
+  Node* register_node(Node* node) {
+    Node* head = all_nodes_.load(std::memory_order_relaxed);
+    do {
+      node->alloc_next.store(head, std::memory_order_relaxed);
+    } while (!all_nodes_.compare_exchange_weak(head, node,
+                                               std::memory_order_acq_rel));
+    return node;
+  }
+
+  int random_level() const {
+    return util::random_geometric_level(max_level_);
+  }
+
+  const int max_level_;
+  Node* head_;
+  Node* tail_;
+  std::atomic<Node*> all_nodes_{nullptr};
+};
+
+class SkipListTM {
+  struct Node {
+    Node(Key key_in, Value value_in, int level_in)
+        : key(key_in), value(value_in), level(level_in), next(level_in) {}
+    const Key key;
+    stm::TxField<Value> value;
+    const int level;
+    std::vector<stm::TxField<std::uint64_t>> next;
+  };
+
+ public:
+  explicit SkipListTM(const Params& params) : max_level_(params.max_level) {
+    assert(max_level_ >= 1 && max_level_ <= core::kMaxHeight);
+    head_ = new Node(std::numeric_limits<Key>::min(), 0, max_level_);
+    tail_ = new Node(std::numeric_limits<Key>::max(), 0, max_level_);
+    for (int i = 0; i < max_level_; ++i) {
+      head_->next[i].init(util::to_word(tail_));
+    }
+  }
+
+  ~SkipListTM() {
+    Node* cur = head_;
+    while (cur != tail_) {
+      Node* nxt = util::to_ptr<Node>(cur->next[0].load_word());
+      delete cur;
+      cur = nxt;
+    }
+    delete tail_;
+    util::ebr::collect();
+  }
+
+  SkipListTM(const SkipListTM&) = delete;
+  SkipListTM& operator=(const SkipListTM&) = delete;
+
+  void bulk_load(const std::vector<KV>& pairs) {
+    std::array<Node*, core::kMaxHeight> last;
+    last.fill(head_);
+    for (const KV& kv : core::sorted_unique(pairs)) {
+      Node* node = new Node(kv.key, kv.value, random_level());
+      for (int i = 0; i < node->level; ++i) {
+        last[i]->next[i].init(util::to_word(node));
+        last[i] = node;
+      }
+    }
+    for (int i = 0; i < max_level_; ++i) {
+      last[i]->next[i].init(util::to_word(tail_));
+    }
+  }
+
+  bool insert(Key key, Value value) {
+    util::ebr::Guard guard;
+    stm::Tx& tx = stm::tls_tx();
+    Node* node = nullptr;
+    bool inserted = false;
+    stm::atomically(tx, [&](stm::Tx& t) {
+      delete node;
+      node = nullptr;
+      Node* preds[core::kMaxHeight];
+      Node* succs[core::kMaxHeight];
+      if (find_tx(t, key, preds, succs)) {
+        succs[0]->value.tx_write(t, value);
+        inserted = false;
+        return;
+      }
+      node = new Node(key, value, random_level());
+      for (int i = 0; i < node->level; ++i) {
+        node->next[i].init(util::to_word(succs[i]));
+        preds[i]->next[i].tx_write(t, util::to_word(node));
+      }
+      inserted = true;
+    });
+    return inserted;
+  }
+
+  bool erase(Key key) {
+    util::ebr::Guard guard;
+    stm::Tx& tx = stm::tls_tx();
+    Node* victim = nullptr;
+    stm::atomically(tx, [&](stm::Tx& t) {
+      victim = nullptr;
+      Node* preds[core::kMaxHeight];
+      Node* succs[core::kMaxHeight];
+      if (!find_tx(t, key, preds, succs)) return;
+      Node* target = succs[0];
+      for (int i = 0; i < target->level; ++i) {
+        preds[i]->next[i].tx_write(t, target->next[i].tx_read(t));
+      }
+      victim = target;
+    });
+    if (victim == nullptr) return false;
+    util::ebr::retire(victim);
+    return true;
+  }
+
+  std::optional<Value> get(Key key) const {
+    util::ebr::Guard guard;
+    stm::Tx& tx = stm::tls_tx();
+    std::optional<Value> result;
+    stm::atomically(tx, [&](stm::Tx& t) {
+      result.reset();
+      Node* preds[core::kMaxHeight];
+      Node* succs[core::kMaxHeight];
+      if (find_tx(t, key, preds, succs)) {
+        result = succs[0]->value.tx_read(t);
+      }
+    });
+    return result;
+  }
+
+  std::size_t range_query(Key low, Key high, std::vector<KV>& out) const {
+    util::ebr::Guard guard;
+    stm::Tx& tx = stm::tls_tx();
+    stm::atomically(tx, [&](stm::Tx& t) {
+      out.clear();
+      Node* preds[core::kMaxHeight];
+      Node* succs[core::kMaxHeight];
+      find_tx(t, low, preds, succs);
+      Node* curr = succs[0];
+      while (curr != tail_ && curr->key <= high) {
+        out.push_back(KV{curr->key, curr->value.tx_read(t)});
+        curr = util::to_ptr<Node>(curr->next[0].tx_read(t));
+      }
+    });
+    return out.size();
+  }
+
+ private:
+  bool find_tx(stm::Tx& tx, Key key, Node** preds, Node** succs) const {
+    Node* pred = head_;
+    for (int i = max_level_ - 1; i >= 0; --i) {
+      Node* curr = util::to_ptr<Node>(pred->next[i].tx_read(tx));
+      while (curr->key < key) {
+        pred = curr;
+        curr = util::to_ptr<Node>(curr->next[i].tx_read(tx));
+      }
+      preds[i] = pred;
+      succs[i] = curr;
+    }
+    return succs[0]->key == key;
+  }
+
+  int random_level() const {
+    return util::random_geometric_level(max_level_);
+  }
+
+  const int max_level_;
+  Node* head_;
+  Node* tail_;
+};
+
+}  // namespace leap::skip

@@ -1,0 +1,375 @@
+// Word-based software transactional memory in the TL2 style
+// (Dice/Shalev/Shavit, DISC 2006) — the substrate for the paper's tm,
+// COP, and LT leap-list variants.
+//
+//   * Every TxField carries its own versioned lock word (version<<1 |
+//     locked-bit) — per-field orecs, no shared ownership table, so
+//     false conflicts between unrelated fields are impossible.
+//   * Transactions are lazy: writes buffer in a write set and publish
+//     at commit under per-field locks, validated against a global
+//     version clock snapshot.
+//   * Progress: after a bounded number of aborts, `atomically` falls
+//     back to an irrevocable mode serialized by a global rw-mutex that
+//     every writer commit briefly shares — opt-in starvation freedom
+//     without slowing the optimistic read path.
+//
+// Concurrency contract: TxField::load/store are safe against concurrent
+// transactions (store performs a miniature locked commit). Raw stores
+// are NOT serializable against a running irrevocable fallback; restrict
+// them to initialization or externally synchronized phases.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace leap::stm {
+
+class Tx;
+
+namespace detail {
+
+std::atomic<std::uint64_t>& global_clock() noexcept;
+
+/// Commit-time gate for the irrevocable fallback. Writer commits hold
+/// it shared for the (short) lock/validate/publish window; the fallback
+/// holds it exclusive, which quiesces every in-flight commit.
+void commit_gate_lock_shared() noexcept;
+void commit_gate_unlock_shared() noexcept;
+void commit_gate_lock_exclusive() noexcept;
+void commit_gate_unlock_exclusive() noexcept;
+
+inline bool vlock_locked(std::uint64_t vlock) { return (vlock & 1) != 0; }
+inline std::uint64_t vlock_version(std::uint64_t vlock) { return vlock >> 1; }
+inline std::uint64_t make_vlock(std::uint64_t version) { return version << 1; }
+
+}  // namespace detail
+
+/// Thrown (via Tx::abort) to unwind an attempt; handled inside
+/// atomically/try_atomically, never escapes to user code.
+struct TxAborted {};
+
+/// Untyped transactional word: value + versioned lock.
+class TxFieldBase {
+ public:
+  TxFieldBase() noexcept = default;
+  TxFieldBase(const TxFieldBase&) = delete;
+  TxFieldBase& operator=(const TxFieldBase&) = delete;
+
+  std::uint64_t load_word(std::memory_order order =
+                              std::memory_order_acquire) const noexcept {
+    return value_.load(order);
+  }
+
+  /// Plain initialization for unpublished objects (no version bump, no
+  /// synchronization). Do not use on shared fields.
+  void init_word(std::uint64_t word) noexcept {
+    value_.store(word, std::memory_order_relaxed);
+  }
+
+  /// Linearizable single-word store: locks the field, publishes, bumps
+  /// the global clock so concurrent readers/transactions revalidate.
+  void store_word(std::uint64_t word) noexcept {
+    std::uint64_t vlock = vlock_.load(std::memory_order_relaxed);
+    while (true) {
+      if (!detail::vlock_locked(vlock) &&
+          vlock_.compare_exchange_weak(vlock, vlock | 1,
+                                       std::memory_order_acq_rel)) {
+        break;
+      }
+      std::this_thread::yield();
+      vlock = vlock_.load(std::memory_order_relaxed);
+    }
+    value_.store(word, std::memory_order_release);
+    const std::uint64_t wv =
+        detail::global_clock().fetch_add(1, std::memory_order_acq_rel) + 1;
+    vlock_.store(detail::make_vlock(wv), std::memory_order_release);
+  }
+
+ private:
+  friend class Tx;
+  std::atomic<std::uint64_t> value_{0};
+  std::atomic<std::uint64_t> vlock_{0};
+};
+
+class Tx {
+ public:
+  Tx() {
+    reads_.reserve(64);
+    writes_.reserve(16);
+  }
+  Tx(const Tx&) = delete;
+  Tx& operator=(const Tx&) = delete;
+
+  [[noreturn]] void abort() const { throw TxAborted{}; }
+
+  std::uint64_t read_word(TxFieldBase& field) {
+    // Read-your-writes.
+    for (auto it = writes_.rbegin(); it != writes_.rend(); ++it) {
+      if (it->field == &field) return it->value;
+    }
+    const std::uint64_t v1 = field.vlock_.load(std::memory_order_acquire);
+    if (detail::vlock_locked(v1) || detail::vlock_version(v1) > rv_) {
+      abort();
+    }
+    const std::uint64_t value = field.value_.load(std::memory_order_acquire);
+    const std::uint64_t v2 = field.vlock_.load(std::memory_order_acquire);
+    if (v1 != v2) abort();
+    reads_.push_back({&field, v1});
+    return value;
+  }
+
+  void write_word(TxFieldBase& field, std::uint64_t value) {
+    for (auto& entry : writes_) {
+      if (entry.field == &field) {
+        entry.value = value;
+        return;
+      }
+    }
+    writes_.push_back({&field, value, 0});
+  }
+
+  bool in_tx() const noexcept { return active_; }
+  std::uint64_t commits() const noexcept { return commits_; }
+  std::uint64_t aborts() const noexcept { return aborts_; }
+
+ private:
+  template <typename Fn>
+  friend void atomically(Tx&, Fn&&);
+  template <typename Fn>
+  friend bool try_atomically(Tx&, Fn&&);
+
+  struct ReadEntry {
+    TxFieldBase* field;
+    std::uint64_t version;
+  };
+  struct WriteEntry {
+    TxFieldBase* field;
+    std::uint64_t value;
+    std::uint64_t saved_vlock;  // pre-lock value, for rollback
+  };
+
+  void begin(bool irrevocable) {
+    reads_.clear();
+    writes_.clear();
+    irrevocable_ = irrevocable;
+    active_ = true;
+    rv_ = detail::global_clock().load(std::memory_order_acquire);
+  }
+
+  void on_abort() {
+    active_ = false;
+    ++aborts_;
+  }
+
+  bool commit() {
+    active_ = false;
+    if (writes_.empty()) {
+      // Read-only: every read was validated against rv_ at read time.
+      ++commits_;
+      return true;
+    }
+    if (!irrevocable_) detail::commit_gate_lock_shared();
+    const bool ok = commit_locked();
+    if (!irrevocable_) detail::commit_gate_unlock_shared();
+    if (ok) {
+      ++commits_;
+    } else {
+      ++aborts_;
+    }
+    return ok;
+  }
+
+  bool commit_locked() {
+    // Lock the write set in address order (deadlock-free against other
+    // committers using the same order).
+    std::sort(writes_.begin(), writes_.end(),
+              [](const WriteEntry& a, const WriteEntry& b) {
+                return a.field < b.field;
+              });
+    std::size_t locked = 0;
+    for (; locked < writes_.size(); ++locked) {
+      WriteEntry& w = *(writes_.begin() + locked);
+      std::uint64_t vlock = w.field->vlock_.load(std::memory_order_acquire);
+      if (detail::vlock_locked(vlock) ||
+          detail::vlock_version(vlock) > rv_ ||
+          !w.field->vlock_.compare_exchange_strong(
+              vlock, vlock | 1, std::memory_order_acq_rel)) {
+        break;
+      }
+      w.saved_vlock = vlock;
+    }
+    if (locked != writes_.size()) {
+      rollback_locks(locked);
+      return false;
+    }
+    const std::uint64_t wv =
+        detail::global_clock().fetch_add(1, std::memory_order_acq_rel) + 1;
+    if (wv != rv_ + 1 && !validate_reads()) {
+      rollback_locks(writes_.size());
+      return false;
+    }
+    for (const WriteEntry& w : writes_) {
+      w.field->value_.store(w.value, std::memory_order_release);
+    }
+    for (const WriteEntry& w : writes_) {
+      w.field->vlock_.store(detail::make_vlock(wv), std::memory_order_release);
+    }
+    return true;
+  }
+
+  bool validate_reads() const {
+    for (const ReadEntry& r : reads_) {
+      const std::uint64_t vlock =
+          r.field->vlock_.load(std::memory_order_acquire);
+      if (detail::vlock_locked(vlock)) {
+        // Locked by us is fine iff the pre-lock version still matches.
+        if (!owns(r.field)) return false;
+        if (saved_version_of(r.field) != detail::vlock_version(r.version))
+          return false;
+      } else if (vlock != r.version) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  bool owns(const TxFieldBase* field) const {
+    for (const WriteEntry& w : writes_) {
+      if (w.field == field) return true;
+    }
+    return false;
+  }
+
+  std::uint64_t saved_version_of(const TxFieldBase* field) const {
+    for (const WriteEntry& w : writes_) {
+      if (w.field == field) return detail::vlock_version(w.saved_vlock);
+    }
+    return ~std::uint64_t{0};
+  }
+
+  void rollback_locks(std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i) {
+      writes_[i].field->vlock_.store(writes_[i].saved_vlock,
+                                     std::memory_order_release);
+    }
+  }
+
+  std::vector<ReadEntry> reads_;
+  std::vector<WriteEntry> writes_;
+  std::uint64_t rv_ = 0;
+  std::uint64_t commits_ = 0;
+  std::uint64_t aborts_ = 0;
+  bool irrevocable_ = false;
+  bool active_ = false;
+};
+
+/// Typed transactional field. T must be trivially copyable and at most
+/// word-sized (Key, Value, pointers, packed words).
+template <typename T>
+class TxField : public TxFieldBase {
+  static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= 8,
+                "TxField requires a word-sized trivially copyable type");
+
+ public:
+  TxField() noexcept = default;
+  explicit TxField(T value) noexcept { init_word(encode(value)); }
+
+  T load() const noexcept { return decode(load_word()); }
+  void store(T value) noexcept { store_word(encode(value)); }
+  /// Pre-publication initialization only.
+  void init(T value) noexcept { init_word(encode(value)); }
+
+  T tx_read(Tx& tx) { return decode(tx.read_word(*this)); }
+  void tx_write(Tx& tx, T value) { tx.write_word(*this, encode(value)); }
+
+ private:
+  static std::uint64_t encode(T value) noexcept {
+    std::uint64_t word = 0;
+    std::memcpy(&word, &value, sizeof(T));
+    return word;
+  }
+  static T decode(std::uint64_t word) noexcept {
+    T value;
+    std::memcpy(&value, &word, sizeof(T));
+    return value;
+  }
+};
+
+/// Per-thread transaction context.
+Tx& tls_tx();
+
+namespace detail {
+
+inline void backoff(unsigned attempt) {
+  if (attempt < 4) return;
+  if (attempt < 10) {
+    for (unsigned i = 0; i < (1u << attempt); ++i) {
+      std::atomic_signal_fence(std::memory_order_seq_cst);
+    }
+    return;
+  }
+  std::this_thread::yield();
+}
+
+inline constexpr unsigned kMaxOptimisticAttempts = 64;
+
+}  // namespace detail
+
+/// Run `fn(tx)` as an atomic transaction, retrying on conflict; after
+/// kMaxOptimisticAttempts aborts, runs irrevocably under the global
+/// commit gate (guaranteed to commit barring an explicit user abort).
+template <typename Fn>
+void atomically(Tx& tx, Fn&& fn) {
+  while (true) {
+    for (unsigned attempt = 0; attempt < detail::kMaxOptimisticAttempts;
+         ++attempt) {
+      tx.begin(false);
+      try {
+        fn(tx);
+      } catch (const TxAborted&) {
+        tx.on_abort();
+        detail::backoff(attempt);
+        continue;
+      }
+      if (tx.commit()) return;
+      detail::backoff(attempt);
+    }
+    // Irrevocable fallback: exclusive gate quiesces all commits, so
+    // reads cannot be invalidated and the commit cannot fail.
+    detail::commit_gate_lock_exclusive();
+    tx.begin(true);
+    bool user_abort = false;
+    try {
+      fn(tx);
+    } catch (const TxAborted&) {
+      tx.on_abort();
+      user_abort = true;
+    }
+    if (!user_abort) tx.commit();
+    detail::commit_gate_unlock_exclusive();
+    if (!user_abort) return;
+    // The lambda aborted on data it saw under quiescence (e.g. a marked
+    // pointer that needs an out-of-tx restart): hand control back to
+    // the optimistic loop.
+  }
+}
+
+/// Single attempt; returns true iff the transaction committed.
+template <typename Fn>
+bool try_atomically(Tx& tx, Fn&& fn) {
+  tx.begin(false);
+  try {
+    fn(tx);
+  } catch (const TxAborted&) {
+    tx.on_abort();
+    return false;
+  }
+  return tx.commit();
+}
+
+}  // namespace leap::stm

@@ -1,0 +1,93 @@
+// Bitwise (PATRICIA-style) trie over a sorted key array, after the
+// String-B-tree device the paper adopts "to facilitate fast lookups
+// when K is large" (§1.2). Internal nodes test one bit; leaves hold an
+// index into the key array; a final compare resolves blind descents.
+//
+// Keys are mapped through a sign-flip bias so negative keys keep their
+// order under unsigned bit tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace leap::trie {
+
+class BitTrie {
+ public:
+  /// Build from strictly ascending keys. The trie stores positions, not
+  /// keys — pair get_index with the same array used to build.
+  static BitTrie build(const std::vector<std::int64_t>& keys) {
+    BitTrie trie;
+    if (keys.empty()) return trie;
+    trie.nodes_.reserve(keys.size());
+    trie.root_ = trie.build_range(keys, 0,
+                                  static_cast<std::int32_t>(keys.size()) - 1);
+    return trie;
+  }
+
+  /// Index of `probe` in `keys`, or -1 when absent.
+  int get_index(const std::vector<std::int64_t>& keys,
+                std::int64_t probe) const {
+    if (root_ == kEmpty) return -1;
+    const std::uint64_t biased = bias(probe);
+    std::int32_t ref = root_;
+    while (!is_leaf(ref)) {
+      const InternalNode& node = nodes_[ref];
+      ref = ((biased >> node.bit) & 1) != 0 ? node.right : node.left;
+    }
+    const int index = leaf_index(ref);
+    return keys[index] == probe ? index : -1;
+  }
+
+  std::size_t internal_nodes() const { return nodes_.size(); }
+
+ private:
+  struct InternalNode {
+    std::uint8_t bit;
+    std::int32_t left;
+    std::int32_t right;
+  };
+
+  static constexpr std::int32_t kEmpty = -1;
+
+  static std::uint64_t bias(std::int64_t key) {
+    return static_cast<std::uint64_t>(key) ^ (std::uint64_t{1} << 63);
+  }
+
+  static bool is_leaf(std::int32_t ref) { return ref < 0; }
+  static std::int32_t make_leaf(std::int32_t index) { return -index - 2; }
+  static int leaf_index(std::int32_t ref) { return -ref - 2; }
+
+  std::int32_t build_range(const std::vector<std::int64_t>& keys,
+                           std::int32_t lo, std::int32_t hi) {
+    if (lo == hi) return make_leaf(lo);
+    // Highest bit where the (sorted, biased) endpoints differ splits
+    // the range contiguously.
+    const std::uint64_t diff = bias(keys[lo]) ^ bias(keys[hi]);
+    int bit = 63;
+    while (((diff >> bit) & 1) == 0) --bit;
+    // First position whose biased key has `bit` set.
+    std::int32_t split_lo = lo;
+    std::int32_t split_hi = hi;
+    while (split_lo < split_hi) {
+      const std::int32_t mid = split_lo + (split_hi - split_lo) / 2;
+      if (((bias(keys[mid]) >> bit) & 1) != 0) {
+        split_hi = mid;
+      } else {
+        split_lo = mid + 1;
+      }
+    }
+    const std::int32_t node_index = static_cast<std::int32_t>(nodes_.size());
+    nodes_.push_back({static_cast<std::uint8_t>(bit), 0, 0});
+    const std::int32_t left = build_range(keys, lo, split_lo - 1);
+    const std::int32_t right = build_range(keys, split_lo, hi);
+    nodes_[node_index].left = left;
+    nodes_[node_index].right = right;
+    return node_index;
+  }
+
+  std::vector<InternalNode> nodes_;
+  std::int32_t root_ = kEmpty;
+};
+
+}  // namespace leap::trie

@@ -1,0 +1,64 @@
+// Epoch-based reclamation (EBR), three-epoch scheme.
+//
+// Leap-list updates replace whole nodes; uninstrumented searches (the
+// LT/COP fast path) may still hold references to a replaced node, so it
+// cannot be freed immediately. Every structure operation pins the
+// current epoch with a Guard; retired nodes are freed once every pinned
+// thread has moved two epochs past the retiring one.
+//
+// One process-wide domain is shared by all structures: retired memory is
+// unreachable by definition, so cross-structure batching is safe and
+// keeps the fast path to a single epoch store per operation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace leap::util::ebr {
+
+namespace detail {
+
+struct ThreadRec;
+
+/// Thread-local record, registered with the global domain on first use
+/// and recycled after thread exit.
+ThreadRec& local_rec();
+
+void pin(ThreadRec& rec);
+void unpin(ThreadRec& rec);
+int pin_depth(const ThreadRec& rec);
+
+}  // namespace detail
+
+/// RAII epoch pin. Re-entrant: nested guards on one thread are cheap.
+class Guard {
+ public:
+  Guard() : rec_(detail::local_rec()) { detail::pin(rec_); }
+  ~Guard() { detail::unpin(rec_); }
+  Guard(const Guard&) = delete;
+  Guard& operator=(const Guard&) = delete;
+
+ private:
+  detail::ThreadRec& rec_;
+};
+
+/// Defer destruction of `ptr` until all current Guards have been
+/// released. Must be called while holding a Guard.
+void retire(void* ptr, void (*deleter)(void*));
+
+template <typename T>
+void retire(T* ptr) {
+  retire(static_cast<void*>(ptr),
+         [](void* raw) { delete static_cast<T*>(raw); });
+}
+
+/// Free every retired object whose grace period has elapsed; if the
+/// domain is fully quiescent (no thread holds a Guard), free everything.
+/// Safe to call at any time; destructors call it as a best-effort sweep
+/// so leak checkers see a clean exit once worker threads have joined.
+void collect();
+
+/// Number of objects currently awaiting reclamation (approximate).
+std::size_t pending_count();
+
+}  // namespace leap::util::ebr

@@ -1,0 +1,31 @@
+// Marked-pointer words: a pointer packed into a std::uint64_t whose low
+// bit flags the owning node as logically deleted (paper §2.1 — marked
+// next pointers let uninstrumented searches detect retired nodes and
+// restart). Alignment of the pointee guarantees the low bit is free.
+#pragma once
+
+#include <cstdint>
+
+namespace leap::util {
+
+inline constexpr std::uint64_t kMarkBit = 1;
+
+template <typename T>
+inline std::uint64_t to_word(T* ptr) {
+  return reinterpret_cast<std::uint64_t>(ptr);
+}
+
+inline bool is_marked(std::uint64_t word) { return (word & kMarkBit) != 0; }
+
+inline std::uint64_t with_mark(std::uint64_t word) { return word | kMarkBit; }
+
+inline std::uint64_t without_mark(std::uint64_t word) {
+  return word & ~kMarkBit;
+}
+
+template <typename T>
+inline T* to_ptr(std::uint64_t word) {
+  return reinterpret_cast<T*>(word & ~kMarkBit);
+}
+
+}  // namespace leap::util

@@ -1,0 +1,59 @@
+// Xoshiro256** — fast, high-quality PRNG for workload generation.
+// Benchmarks draw millions of keys per second; std::mt19937_64 is too
+// heavy to sit on that path.
+#pragma once
+
+#include <cstdint>
+
+namespace leap::util {
+
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(std::uint64_t seed) {
+    // SplitMix64 expansion of the seed, per Vigna's recommendation.
+    std::uint64_t x = seed + 0x9e3779b97f4a7c15ull;
+    for (auto& word : state_) {
+      std::uint64_t z = (x += 0x9e3779b97f4a7c15ull);
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform draw in [0, bound). bound == 0 yields 0.
+  std::uint64_t next_below(std::uint64_t bound) {
+    return bound == 0 ? 0 : next() % bound;
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+/// Geometric (p = 1/2) tower height in [1, max_level] from a per-thread
+/// generator — the one level distribution every skiplist-shaped
+/// structure in this repo draws from.
+inline int random_geometric_level(int max_level) {
+  thread_local Xoshiro256 rng(0x9e3779b97f4a7c15ull ^
+                              reinterpret_cast<std::uint64_t>(&rng));
+  int level = 1;
+  while (level < max_level && (rng.next() & 1) != 0) ++level;
+  return level;
+}
+
+}  // namespace leap::util

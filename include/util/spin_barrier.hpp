@@ -1,0 +1,34 @@
+// Sense-reversing spin barrier. Benchmark workers must start measuring
+// on the same cycle; a futex-based std::barrier adds syscall jitter at
+// exactly the wrong moment.
+#pragma once
+
+#include <atomic>
+#include <thread>
+
+namespace leap::util {
+
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(unsigned parties) : parties_(parties) {}
+
+  void arrive_and_wait() {
+    const unsigned generation = generation_.load(std::memory_order_acquire);
+    if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == parties_) {
+      arrived_.store(0, std::memory_order_relaxed);
+      generation_.fetch_add(1, std::memory_order_acq_rel);
+      return;
+    }
+    unsigned spins = 0;
+    while (generation_.load(std::memory_order_acquire) == generation) {
+      if (++spins > 4096) std::this_thread::yield();
+    }
+  }
+
+ private:
+  const unsigned parties_;
+  std::atomic<unsigned> arrived_{0};
+  std::atomic<unsigned> generation_{0};
+};
+
+}  // namespace leap::util

@@ -1,0 +1,202 @@
+#include "util/ebr.hpp"
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+namespace leap::util::ebr {
+
+namespace detail {
+
+namespace {
+
+constexpr std::uint64_t kIdle = ~std::uint64_t{0};
+constexpr std::size_t kCollectThreshold = 256;
+
+struct Retired {
+  void* ptr;
+  void (*deleter)(void*);
+};
+
+struct Bin {
+  std::uint64_t epoch = 0;
+  std::vector<Retired> items;
+};
+
+}  // namespace
+
+struct ThreadRec {
+  std::atomic<std::uint64_t> epoch{kIdle};
+  std::atomic<bool> in_use{false};
+  int depth = 0;
+  // Bins are touched only by the owning thread, or by collect() while it
+  // holds every rec quiescent under the registry mutex.
+  Bin bins[3];
+  std::size_t retired_since_collect = 0;
+  ThreadRec* next = nullptr;
+};
+
+namespace {
+
+std::atomic<std::uint64_t> g_epoch{0};
+std::atomic<ThreadRec*> g_registry{nullptr};
+std::mutex g_collect_mutex;
+std::atomic<std::size_t> g_pending{0};
+
+void free_bin(Bin& bin) {
+  for (const Retired& r : bin.items) r.deleter(r.ptr);
+  g_pending.fetch_sub(bin.items.size(), std::memory_order_relaxed);
+  bin.items.clear();
+}
+
+/// True when every registered record is idle or already at `epoch`.
+bool all_caught_up(std::uint64_t epoch) {
+  for (ThreadRec* rec = g_registry.load(std::memory_order_acquire);
+       rec != nullptr; rec = rec->next) {
+    const std::uint64_t seen = rec->epoch.load(std::memory_order_acquire);
+    if (seen != kIdle && seen != epoch) return false;
+  }
+  return true;
+}
+
+void try_advance() {
+  std::uint64_t epoch = g_epoch.load(std::memory_order_acquire);
+  if (!all_caught_up(epoch)) return;
+  g_epoch.compare_exchange_strong(epoch, epoch + 1,
+                                  std::memory_order_acq_rel);
+}
+
+ThreadRec* acquire_rec() {
+  // Serialized with collect(): a rec observed !in_use there cannot be
+  // re-acquired (and have its bins pushed to) mid-drain.
+  std::lock_guard<std::mutex> lock(g_collect_mutex);
+  for (ThreadRec* rec = g_registry.load(std::memory_order_acquire);
+       rec != nullptr; rec = rec->next) {
+    bool expected = false;
+    if (rec->in_use.compare_exchange_strong(expected, true,
+                                            std::memory_order_acq_rel)) {
+      return rec;
+    }
+  }
+  auto* rec = new ThreadRec();
+  rec->in_use.store(true, std::memory_order_relaxed);
+  ThreadRec* head = g_registry.load(std::memory_order_acquire);
+  do {
+    rec->next = head;
+  } while (!g_registry.compare_exchange_weak(head, rec,
+                                             std::memory_order_acq_rel));
+  return rec;
+}
+
+struct RecHandle {
+  ThreadRec* rec = acquire_rec();
+  ~RecHandle() {
+    // The thread is exiting: its guards are gone. Leave the retired
+    // items in place (tagged with their epochs) and release the record
+    // for reuse; a later collect() frees them.
+    rec->epoch.store(kIdle, std::memory_order_release);
+    rec->in_use.store(false, std::memory_order_release);
+  }
+};
+
+}  // namespace
+
+ThreadRec& local_rec() {
+  thread_local RecHandle handle;
+  return *handle.rec;
+}
+
+void pin(ThreadRec& rec) {
+  if (rec.depth++ > 0) return;
+  std::uint64_t epoch = g_epoch.load(std::memory_order_acquire);
+  // Publish-and-recheck so a concurrent advance cannot leave us pinned
+  // to a stale epoch unnoticed.
+  while (true) {
+    rec.epoch.store(epoch, std::memory_order_seq_cst);
+    const std::uint64_t now = g_epoch.load(std::memory_order_seq_cst);
+    if (now == epoch) break;
+    epoch = now;
+  }
+}
+
+void unpin(ThreadRec& rec) {
+  assert(rec.depth > 0);
+  if (--rec.depth == 0) rec.epoch.store(kIdle, std::memory_order_release);
+}
+
+int pin_depth(const ThreadRec& rec) { return rec.depth; }
+
+void retire(ThreadRec& rec, void* ptr, void (*deleter)(void*)) {
+  assert(rec.depth > 0 && "ebr::retire requires an active Guard");
+  // Tag with the CURRENT GLOBAL epoch, not the pinned one: the retirer
+  // may be pinned at e while the epoch is already e+1, and a reader
+  // continuously pinned at e+1 since before the unlink may still hold a
+  // reference when a bin tagged e hits the +2 drain rule. With a global
+  // tag g, any such reader pinned <= g blocks the g+1 -> g+2 advance,
+  // so draining at global >= g+2 is safe.
+  const std::uint64_t epoch = g_epoch.load(std::memory_order_acquire);
+  Bin& bin = rec.bins[epoch % 3];
+  if (bin.epoch != epoch) {
+    // This bin holds items from epoch-3 (or is empty): two full epochs
+    // have passed, so they are unreachable by every pinned thread.
+    free_bin(bin);
+    bin.epoch = epoch;
+  }
+  bin.items.push_back({ptr, deleter});
+  g_pending.fetch_add(1, std::memory_order_relaxed);
+  if (++rec.retired_since_collect >= kCollectThreshold) {
+    rec.retired_since_collect = 0;
+    try_advance();
+    // Opportunistically drain own bins that have aged out.
+    const std::uint64_t now = g_epoch.load(std::memory_order_acquire);
+    for (Bin& b : rec.bins) {
+      if (!b.items.empty() && b.epoch + 2 <= now) free_bin(b);
+    }
+  }
+}
+
+}  // namespace detail
+
+void retire(void* ptr, void (*deleter)(void*)) {
+  detail::retire(detail::local_rec(), ptr, deleter);
+}
+
+void collect() {
+  using namespace detail;
+  ThreadRec& own = local_rec();
+  std::lock_guard<std::mutex> lock(g_collect_mutex);
+  // Quiescent fast path — what structure destructors hit after worker
+  // threads join: nothing is pinned, so every retired object is
+  // unreachable. Drain the caller's own bins plus those of released
+  // (exited) thread records; acquire_rec holds the same mutex, so a
+  // record observed !in_use cannot be racing us with new pushes. Bins
+  // of other still-registered live threads are skipped — their owners
+  // drain them on their next retire.
+  bool quiescent = true;
+  for (ThreadRec* rec = g_registry.load(std::memory_order_acquire);
+       rec != nullptr; rec = rec->next) {
+    if (rec->epoch.load(std::memory_order_seq_cst) != kIdle) {
+      quiescent = false;
+      break;
+    }
+  }
+  if (quiescent) {
+    for (ThreadRec* rec = g_registry.load(std::memory_order_acquire);
+         rec != nullptr; rec = rec->next) {
+      if (rec == &own || !rec->in_use.load(std::memory_order_acquire)) {
+        for (Bin& bin : rec->bins) free_bin(bin);
+      }
+    }
+    return;
+  }
+  // Otherwise just nudge the epoch along; owners drain their own bins.
+  try_advance();
+}
+
+std::size_t pending_count() {
+  return detail::g_pending.load(std::memory_order_relaxed);
+}
+
+}  // namespace leap::util::ebr

@@ -1,0 +1,50 @@
+#include "harness/workload.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <thread>
+
+namespace leap::harness {
+
+bool smoke_mode() {
+  static const bool smoke = std::getenv("LEAP_BENCH_SMOKE") != nullptr;
+  return smoke;
+}
+
+std::chrono::milliseconds bench_duration(
+    std::chrono::milliseconds preferred) {
+  if (const char* raw = std::getenv("LEAP_BENCH_MS")) {
+    const long ms = std::strtol(raw, nullptr, 10);
+    if (ms > 0) return std::chrono::milliseconds(ms);
+  }
+  if (smoke_mode()) {
+    return std::min(preferred, std::chrono::milliseconds(25));
+  }
+  return preferred;
+}
+
+int bench_repeats(int preferred) {
+  return smoke_mode() ? 1 : std::max(1, preferred);
+}
+
+std::vector<unsigned> thread_sweep() {
+  if (smoke_mode()) return {1u, 2u};
+  unsigned max_threads = std::max(1u, std::thread::hardware_concurrency());
+  if (const char* raw = std::getenv("LEAP_BENCH_MAX_THREADS")) {
+    const long cap = std::strtol(raw, nullptr, 10);
+    if (cap > 0) max_threads = static_cast<unsigned>(cap);
+  }
+  std::vector<unsigned> sweep;
+  for (unsigned t = 1; t < max_threads; t *= 2) sweep.push_back(t);
+  sweep.push_back(max_threads);
+  return sweep;
+}
+
+std::chrono::milliseconds warmup_duration(
+    std::chrono::milliseconds measured) {
+  const auto quarter = measured / 4;
+  const auto floor = std::chrono::milliseconds(smoke_mode() ? 5 : 20);
+  return std::max(quarter, floor);
+}
+
+}  // namespace leap::harness

@@ -1,0 +1,30 @@
+#include "stm/stm.hpp"
+
+#include <shared_mutex>
+
+namespace leap::stm {
+
+namespace detail {
+
+namespace {
+
+std::atomic<std::uint64_t> g_clock{0};
+std::shared_mutex g_commit_gate;
+
+}  // namespace
+
+std::atomic<std::uint64_t>& global_clock() noexcept { return g_clock; }
+
+void commit_gate_lock_shared() noexcept { g_commit_gate.lock_shared(); }
+void commit_gate_unlock_shared() noexcept { g_commit_gate.unlock_shared(); }
+void commit_gate_lock_exclusive() noexcept { g_commit_gate.lock(); }
+void commit_gate_unlock_exclusive() noexcept { g_commit_gate.unlock(); }
+
+}  // namespace detail
+
+Tx& tls_tx() {
+  thread_local Tx tx;
+  return tx;
+}
+
+}  // namespace leap::stm

@@ -1,0 +1,57 @@
+// Minimal assertion helpers for the ctest suite (no external framework;
+// the toolchain image is intentionally dependency-free).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace leap::test {
+
+inline int& failure_count() {
+  static int failures = 0;
+  return failures;
+}
+
+inline void fail(const char* file, int line, const std::string& message) {
+  std::fprintf(stderr, "FAIL %s:%d: %s\n", file, line, message.c_str());
+  ++failure_count();
+  std::abort();
+}
+
+inline std::string to_display(const std::string& value) { return value; }
+inline std::string to_display(const char* value) { return value; }
+inline std::string to_display(bool value) { return value ? "true" : "false"; }
+template <typename T>
+std::string to_display(const T& value) {
+  return std::to_string(value);
+}
+
+inline int finish(const char* name) {
+  if (failure_count() == 0) {
+    std::printf("OK %s\n", name);
+    return 0;
+  }
+  return 1;
+}
+
+}  // namespace leap::test
+
+#define CHECK(cond)                                                     \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::leap::test::fail(__FILE__, __LINE__, "CHECK(" #cond ") failed"); \
+    }                                                                   \
+  } while (0)
+
+#define CHECK_EQ(a, b)                                                       \
+  do {                                                                       \
+    const auto va = (a);                                                     \
+    const auto vb = (b);                                                     \
+    if (!(va == vb)) {                                                       \
+      ::leap::test::fail(__FILE__, __LINE__,                                 \
+                         std::string("CHECK_EQ(" #a ", " #b ") failed: ") +  \
+                             ::leap::test::to_display(va) + " != " +         \
+                             ::leap::test::to_display(vb));                  \
+    }                                                                        \
+  } while (0)

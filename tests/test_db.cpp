@@ -1,0 +1,134 @@
+// Table layer tests: LeapTable and LockedTreeTable against a naive
+// reference, plus a concurrent smoke over LeapTable.
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "db/leap_table.hpp"
+#include "db/locked_table.hpp"
+#include "test_common.hpp"
+#include "util/random.hpp"
+
+using namespace leap::db;
+
+namespace {
+
+Schema test_schema() {
+  Schema schema;
+  schema.columns = {"price", "stock", "category"};
+  schema.indexed_columns = {0, 1, 2};
+  return schema;
+}
+
+Row make_row(RowId id, leap::util::Xoshiro256& rng) {
+  return Row{id,
+             {static_cast<ColumnValue>(rng.next_below(10000)),
+              static_cast<ColumnValue>(rng.next_below(1000)),
+              static_cast<ColumnValue>(rng.next_below(16))}};
+}
+
+template <typename TableT>
+void test_functional(const char* name) {
+  TableT table(test_schema());
+  std::vector<Row> reference;  // id-indexed shadow (id - 1)
+  constexpr RowId kRows = 2000;
+  leap::util::Xoshiro256 rng(4321);
+  for (RowId id = 1; id <= kRows; ++id) {
+    const Row row = make_row(id, rng);
+    table.insert(row);
+    reference.push_back(row);
+  }
+  // Point reads.
+  for (RowId id = 1; id <= kRows; ++id) {
+    const auto row = table.get(id);
+    CHECK(row.has_value());
+    CHECK_EQ(row->id, id);
+    CHECK(row->values == reference[id - 1].values);
+  }
+  CHECK(!table.get(kRows + 1).has_value());
+  // Overwrite updates the secondary indexes.
+  Row replacement = reference[9];
+  replacement.values[0] = 424242;
+  table.insert(replacement);
+  reference[9] = replacement;
+  // Erase.
+  CHECK(table.erase(5));
+  CHECK(!table.erase(5));
+  CHECK(!table.get(5).has_value());
+  // Scans per indexed column vs the shadow.
+  std::vector<Row> out;
+  for (std::size_t col = 0; col < 3; ++col) {
+    const ColumnValue low = 100;
+    const ColumnValue high = col == 2 ? 7 : 5000;
+    table.scan(col, low, high, out);
+    std::size_t expected = 0;
+    for (const Row& row : reference) {
+      if (row.id == 5) continue;
+      const ColumnValue v = row.values[col];
+      if (v >= low && v <= high) ++expected;
+    }
+    CHECK_EQ(out.size(), expected);
+    for (const Row& row : out) {
+      CHECK(row.values[col] >= low);
+      CHECK(row.values[col] <= high);
+      CHECK(row.values == reference[row.id - 1].values);
+    }
+  }
+  std::printf("  functional %s ok\n", name);
+}
+
+void test_concurrent_smoke() {
+  LeapTable table(test_schema());
+  constexpr RowId kRows = 1000;
+  {
+    leap::util::Xoshiro256 rng(1);
+    for (RowId id = 1; id <= kRows; ++id) table.insert(make_row(id, rng));
+  }
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      leap::util::Xoshiro256 rng(50 + t);
+      std::vector<Row> out;
+      for (int op = 0; op < 20000; ++op) {
+        const RowId id = 1 + rng.next_below(kRows);
+        switch (rng.next_below(4)) {
+          case 0:
+            table.insert(make_row(id, rng));
+            break;
+          case 1: {
+            const auto row = table.get(id);
+            if (row) CHECK_EQ(row->id, id);
+            break;
+          }
+          case 2: {
+            const ColumnValue low =
+                static_cast<ColumnValue>(rng.next_below(9000));
+            table.scan(0, low, low + 500, out);
+            for (const Row& row : out) {
+              CHECK(row.values.size() == 3);
+            }
+            break;
+          }
+          default:
+            table.erase(id);
+            table.insert(make_row(id, rng));
+            break;
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  stop.store(true);
+  std::printf("  concurrent smoke ok\n");
+}
+
+}  // namespace
+
+int main() {
+  test_functional<LeapTable>("LeapTable");
+  test_functional<LockedTreeTable>("LockedTreeTable");
+  test_concurrent_smoke();
+  return leap::test::finish("test_db");
+}

@@ -1,0 +1,98 @@
+// Harness layer tests: formatting, mixes, sweeps, histogram math, and
+// a miniature end-to-end run of the throughput/latency drivers.
+#include <chrono>
+#include <cstdlib>
+
+#include "harness/adapters.hpp"
+#include "harness/driver.hpp"
+#include "harness/table.hpp"
+#include "harness/workload.hpp"
+#include "test_common.hpp"
+
+using namespace leap::harness;
+
+namespace {
+
+void test_formatting() {
+  CHECK_EQ(Table::format_ops(12345678.0), std::string("12.35M"));
+  CHECK_EQ(Table::format_ops(4560.0), std::string("4.6K"));
+  CHECK_EQ(Table::format_ops(42.0), std::string("42"));
+  CHECK_EQ(Table::format_ratio(2.204), std::string("2.20x"));
+}
+
+void test_mixes() {
+  CHECK_EQ(Mix::modify_only().lookup_pct, 0);
+  CHECK_EQ(Mix::modify_only().range_pct, 0);
+  CHECK_EQ(Mix::lookup_only().lookup_pct, 100);
+  CHECK_EQ(Mix::range_only().range_pct, 100);
+  CHECK_EQ(Mix::read_dominated().lookup_pct, 40);
+  CHECK_EQ(Mix::read_dominated().range_pct, 40);
+  CHECK_EQ(Mix::lookup_modify(70).lookup_pct, 70);
+  CHECK_EQ(Mix::range_modify(30).range_pct, 30);
+}
+
+void test_sweeps() {
+  const auto sweep = thread_sweep();
+  CHECK(!sweep.empty());
+  for (std::size_t i = 1; i < sweep.size(); ++i) {
+    CHECK(sweep[i] > sweep[i - 1]);
+  }
+  CHECK(bench_duration(std::chrono::milliseconds(200)).count() > 0);
+  CHECK(bench_repeats(3) >= 1);
+  CHECK(warmup_duration(std::chrono::milliseconds(200)).count() > 0);
+}
+
+void test_histogram() {
+  LatencyHistogram hist;
+  CHECK_EQ(hist.percentile(0.5), 0u);
+  for (std::uint64_t v = 1; v <= 1000; ++v) hist.record(v * 1000);
+  CHECK_EQ(hist.samples(), 1000u);
+  const std::uint64_t p50 = hist.percentile(0.50);
+  const std::uint64_t p99 = hist.percentile(0.99);
+  // Log-bucket bounds: within one sub-bucket (~6%) below the true value.
+  CHECK(p50 >= 450000 && p50 <= 500000);
+  CHECK(p99 >= 900000 && p99 <= 990000);
+  CHECK(p99 > p50);
+  LatencyHistogram other;
+  other.record(5);
+  other.merge(hist);
+  CHECK_EQ(other.samples(), 1001u);
+}
+
+void test_driver_end_to_end() {
+  WorkloadConfig cfg;
+  cfg.lists = 2;
+  cfg.params = leap::core::Params{.node_size = 32, .max_level = 8};
+  cfg.key_range = 4000;
+  cfg.initial_size = 2000;
+  cfg.rq_span_min = 10;
+  cfg.rq_span_max = 50;
+  cfg.mix = Mix::read_dominated();
+  cfg.threads = 2;
+  cfg.duration = std::chrono::milliseconds(50);
+  const ThroughputResult result =
+      run_workload<LeapAdapter<leap::core::LeapListLT>>(cfg, 1);
+  CHECK(result.total_ops > 0);
+  CHECK(result.ops_per_sec > 0);
+
+  LeapAdapter<leap::core::LeapListCOP> adapter(cfg);
+  const LatencyResult latency = run_latency(adapter, cfg);
+  CHECK(latency.lookup.samples() > 0);
+  CHECK(latency.range.samples() > 0);
+  CHECK(latency.update.samples() > 0);
+
+  const ThroughputResult skip_result =
+      run_workload<SkipAdapter<leap::skip::SkipListCAS>>(cfg, 1);
+  CHECK(skip_result.total_ops > 0);
+}
+
+}  // namespace
+
+int main() {
+  test_formatting();
+  test_mixes();
+  test_sweeps();
+  test_histogram();
+  test_driver_end_to_end();
+  return leap::test::finish("test_harness");
+}

@@ -1,0 +1,125 @@
+// Concurrency stress for all four variants — the test TSan exists for.
+//
+// Writers churn insert(key, key * 3 + 1) / erase over a small hot key
+// range (maximizing node replacement races); readers run lookups and
+// range queries. Every range query must be a consistent snapshot of
+// complete operations: sorted, duplicate-free, in-bounds keys whose
+// values obey the writer invariant. Afterwards the structure must pass
+// the full invariant walk and agree with a sequential re-check.
+//
+// LEAP_STRESS_MS scales the run (default 400 ms per variant; CI TSan
+// uses a shorter window).
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "leaplist/leaplist.hpp"
+#include "test_common.hpp"
+#include "util/random.hpp"
+#include "util/spin_barrier.hpp"
+
+using namespace leap::core;
+
+namespace {
+
+constexpr Key kKeyRange = 512;
+
+Value value_for(Key key) { return key * 3 + 1; }
+
+std::chrono::milliseconds stress_duration() {
+  if (const char* raw = std::getenv("LEAP_STRESS_MS")) {
+    const long ms = std::strtol(raw, nullptr, 10);
+    if (ms > 0) return std::chrono::milliseconds(ms);
+  }
+  return std::chrono::milliseconds(400);
+}
+
+template <typename ListT>
+void stress_variant(const char* name) {
+  constexpr unsigned kWriters = 4;
+  constexpr unsigned kReaders = 2;
+  constexpr unsigned kScanners = 2;
+  ListT list(Params{.node_size = 16, .max_level = 6});
+  {
+    std::vector<KV> pairs;
+    for (Key k = 1; k <= kKeyRange; k += 2) {
+      pairs.push_back(KV{k, value_for(k)});
+    }
+    list.bulk_load(pairs);
+  }
+  std::atomic<bool> stop{false};
+  leap::util::SpinBarrier barrier(kWriters + kReaders + kScanners + 1);
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kWriters; ++t) {
+    threads.emplace_back([&, t] {
+      leap::util::Xoshiro256 rng(100 + t);
+      barrier.arrive_and_wait();
+      while (!stop.load(std::memory_order_relaxed)) {
+        const Key key = static_cast<Key>(1 + rng.next_below(kKeyRange));
+        if ((rng.next() & 1) != 0) {
+          list.insert(key, value_for(key));
+        } else {
+          list.erase(key);
+        }
+      }
+    });
+  }
+  for (unsigned t = 0; t < kReaders; ++t) {
+    threads.emplace_back([&, t] {
+      leap::util::Xoshiro256 rng(200 + t);
+      barrier.arrive_and_wait();
+      while (!stop.load(std::memory_order_relaxed)) {
+        const Key key = static_cast<Key>(1 + rng.next_below(kKeyRange));
+        const auto value = list.get(key);
+        if (value) CHECK_EQ(*value, value_for(key));
+      }
+    });
+  }
+  for (unsigned t = 0; t < kScanners; ++t) {
+    threads.emplace_back([&, t] {
+      leap::util::Xoshiro256 rng(300 + t);
+      std::vector<KV> out;
+      barrier.arrive_and_wait();
+      while (!stop.load(std::memory_order_relaxed)) {
+        const Key low = static_cast<Key>(1 + rng.next_below(kKeyRange));
+        const Key high = low + static_cast<Key>(rng.next_below(64));
+        list.range_query(low, high, out);
+        Key prev = low - 1;
+        for (const KV& kv : out) {
+          CHECK(kv.key >= low);
+          CHECK(kv.key <= high);
+          CHECK(kv.key > prev);  // sorted, no duplicates
+          CHECK_EQ(kv.value, value_for(kv.key));
+          prev = kv.key;
+        }
+      }
+    });
+  }
+  barrier.arrive_and_wait();
+  std::this_thread::sleep_for(stress_duration());
+  stop.store(true, std::memory_order_release);
+  for (auto& thread : threads) thread.join();
+  CHECK(list.debug_validate());
+  // Sequential agreement: point reads match a full scan.
+  std::vector<KV> all;
+  list.range_query(1, kKeyRange, all);
+  CHECK_EQ(all.size(), list.size_slow());
+  for (const KV& kv : all) {
+    const auto value = list.get(kv.key);
+    CHECK(value.has_value());
+    CHECK_EQ(*value, kv.value);
+  }
+  std::printf("  stress %s ok (%zu keys at rest)\n", name, all.size());
+}
+
+}  // namespace
+
+int main() {
+  stress_variant<LeapListLT>("LT");
+  stress_variant<LeapListCOP>("COP");
+  stress_variant<LeapListTM>("TM");
+  stress_variant<LeapListRW>("RW");
+  return leap::test::finish("test_leaplist_stress");
+}

@@ -1,0 +1,140 @@
+// Functional + stress tests for the skip-list baselines.
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "leaplist/skiplist.hpp"
+#include "test_common.hpp"
+#include "util/random.hpp"
+#include "util/spin_barrier.hpp"
+
+using namespace leap::skip;
+using leap::core::KV;
+using leap::core::Params;
+
+namespace {
+
+std::chrono::milliseconds stress_duration() {
+  if (const char* raw = std::getenv("LEAP_STRESS_MS")) {
+    const long ms = std::strtol(raw, nullptr, 10);
+    if (ms > 0) return std::chrono::milliseconds(ms);
+  }
+  return std::chrono::milliseconds(300);
+}
+
+template <typename ListT>
+void test_functional(const char* name) {
+  const Params params{.node_size = 300, .max_level = 12};
+  ListT list(params);
+  std::map<Key, Value> reference;
+  leap::util::Xoshiro256 rng(99);
+  for (int op = 0; op < 20000; ++op) {
+    const Key key = static_cast<Key>(1 + rng.next_below(1500));
+    const int dial = static_cast<int>(rng.next_below(100));
+    if (dial < 50) {
+      const Value value = static_cast<Value>(rng.next_below(1u << 30));
+      const bool inserted = list.insert(key, value);
+      CHECK_EQ(inserted, reference.find(key) == reference.end());
+      reference[key] = value;
+    } else if (dial < 80) {
+      const bool erased = list.erase(key);
+      CHECK_EQ(erased, reference.erase(key) > 0);
+    } else {
+      const auto expected = reference.find(key);
+      const auto actual = list.get(key);
+      CHECK_EQ(actual.has_value(), expected != reference.end());
+      if (actual) CHECK_EQ(*actual, expected->second);
+    }
+  }
+  // Quiescent range scan agrees with the reference.
+  std::vector<KV> out;
+  list.range_query(1, 1500, out);
+  CHECK_EQ(out.size(), reference.size());
+  std::size_t n = 0;
+  for (const auto& [key, value] : reference) {
+    CHECK_EQ(out[n].key, key);
+    CHECK_EQ(out[n].value, value);
+    ++n;
+  }
+  // bulk_load path.
+  ListT loaded(params);
+  std::vector<KV> pairs;
+  for (Key k = 10; k <= 1000; k += 10) pairs.push_back(KV{k, k + 1});
+  loaded.bulk_load(pairs);
+  CHECK_EQ(*loaded.get(10), 11);
+  CHECK_EQ(*loaded.get(1000), 1001);
+  CHECK(!loaded.get(15).has_value());
+  loaded.range_query(100, 200, out);
+  CHECK_EQ(out.size(), 11u);
+  std::printf("  functional %s ok\n", name);
+}
+
+template <typename ListT>
+void test_stress(const char* name) {
+  constexpr Key kRange = 400;
+  const Params params{.node_size = 300, .max_level = 10};
+  ListT list(params);
+  std::atomic<bool> stop{false};
+  constexpr unsigned kThreads = 6;
+  leap::util::SpinBarrier barrier(kThreads + 1);
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      leap::util::Xoshiro256 rng(500 + t);
+      std::vector<KV> out;
+      barrier.arrive_and_wait();
+      while (!stop.load(std::memory_order_relaxed)) {
+        const Key key = static_cast<Key>(1 + rng.next_below(kRange));
+        switch (rng.next_below(4)) {
+          case 0:
+            list.insert(key, key * 5);
+            break;
+          case 1:
+            list.erase(key);
+            break;
+          case 2: {
+            const auto value = list.get(key);
+            if (value) CHECK_EQ(*value, key * 5);
+            break;
+          }
+          default: {
+            list.range_query(key, key + 50, out);
+            Key prev = 0;
+            for (const KV& kv : out) {
+              CHECK(kv.key > prev);
+              CHECK_EQ(kv.value, kv.key * 5);
+              prev = kv.key;
+            }
+            break;
+          }
+        }
+      }
+    });
+  }
+  barrier.arrive_and_wait();
+  std::this_thread::sleep_for(stress_duration());
+  stop.store(true, std::memory_order_release);
+  for (auto& thread : threads) thread.join();
+  // Sequential agreement after the dust settles.
+  std::vector<KV> all;
+  list.range_query(1, kRange, all);
+  for (const KV& kv : all) {
+    const auto value = list.get(kv.key);
+    CHECK(value.has_value());
+    CHECK_EQ(*value, kv.key * 5);
+  }
+  std::printf("  stress %s ok (%zu keys at rest)\n", name, all.size());
+}
+
+}  // namespace
+
+int main() {
+  test_functional<SkipListCAS>("SkipListCAS");
+  test_functional<SkipListTM>("SkipListTM");
+  test_stress<SkipListCAS>("SkipListCAS");
+  test_stress<SkipListTM>("SkipListTM");
+  return leap::test::finish("test_skiplist");
+}

@@ -1,0 +1,81 @@
+// BitTrie unit tests: hits, misses, adversarial-adjacent probes,
+// negative keys, and fuzz against binary search.
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "test_common.hpp"
+#include "trie/bit_trie.hpp"
+#include "util/random.hpp"
+
+using leap::trie::BitTrie;
+
+namespace {
+
+void check_full(const std::vector<std::int64_t>& keys) {
+  const BitTrie trie = BitTrie::build(keys);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    CHECK_EQ(trie.get_index(keys, keys[i]), static_cast<int>(i));
+  }
+  // Probes adjacent to every key (worst case for blind descent).
+  for (const std::int64_t key : keys) {
+    for (const std::int64_t probe : {key - 1, key + 1}) {
+      const auto it = std::lower_bound(keys.begin(), keys.end(), probe);
+      const int expected = (it != keys.end() && *it == probe)
+                               ? static_cast<int>(it - keys.begin())
+                               : -1;
+      CHECK_EQ(trie.get_index(keys, probe), expected);
+    }
+  }
+}
+
+void test_small() {
+  check_full({});
+  check_full({42});
+  check_full({1, 2});
+  check_full({0, 1, 2, 3, 4, 5, 6, 7});
+  check_full({5, 100, 1000, 1001, 1002, 999999});
+  check_full({-100, -50, -1, 0, 1, 50, 100});  // negative keys keep order
+}
+
+void test_fuzz() {
+  leap::util::Xoshiro256 rng(777);
+  for (int round = 0; round < 50; ++round) {
+    std::set<std::int64_t> unique;
+    const std::size_t count = 1 + rng.next_below(400);
+    while (unique.size() < count) {
+      unique.insert(static_cast<std::int64_t>(rng.next_below(1u << 20)) -
+                    1000);
+    }
+    const std::vector<std::int64_t> keys(unique.begin(), unique.end());
+    check_full(keys);
+    const BitTrie trie = BitTrie::build(keys);
+    for (int probe_round = 0; probe_round < 200; ++probe_round) {
+      const std::int64_t probe =
+          static_cast<std::int64_t>(rng.next_below(1u << 20)) - 1000;
+      const auto it = std::lower_bound(keys.begin(), keys.end(), probe);
+      const int expected = (it != keys.end() && *it == probe)
+                               ? static_cast<int>(it - keys.begin())
+                               : -1;
+      CHECK_EQ(trie.get_index(keys, probe), expected);
+    }
+  }
+}
+
+void test_node_budget() {
+  // A PATRICIA trie over n keys has exactly n-1 internal nodes.
+  std::vector<std::int64_t> keys;
+  for (int i = 0; i < 300; ++i) keys.push_back(i * 7 + 3);
+  const BitTrie trie = BitTrie::build(keys);
+  CHECK_EQ(trie.internal_nodes(), keys.size() - 1);
+}
+
+}  // namespace
+
+int main() {
+  test_small();
+  test_fuzz();
+  test_node_budget();
+  return leap::test::finish("test_trie");
+}

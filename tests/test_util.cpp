@@ -1,0 +1,104 @@
+// Unit tests: PRNG, spin barrier, marked pointers, EBR reclamation.
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "test_common.hpp"
+#include "util/ebr.hpp"
+#include "util/marked_ptr.hpp"
+#include "util/random.hpp"
+#include "util/spin_barrier.hpp"
+
+namespace {
+
+void test_random() {
+  leap::util::Xoshiro256 a(42);
+  leap::util::Xoshiro256 b(42);
+  for (int i = 0; i < 1000; ++i) CHECK_EQ(a.next(), b.next());
+  leap::util::Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    CHECK(rng.next_below(17) < 17);
+  }
+  CHECK_EQ(rng.next_below(0), 0u);
+  CHECK_EQ(rng.next_below(1), 0u);
+}
+
+void test_marked_ptr() {
+  int value = 5;
+  const std::uint64_t word = leap::util::to_word(&value);
+  CHECK(!leap::util::is_marked(word));
+  const std::uint64_t marked = leap::util::with_mark(word);
+  CHECK(leap::util::is_marked(marked));
+  CHECK_EQ(leap::util::without_mark(marked), word);
+  CHECK(leap::util::to_ptr<int>(marked) == &value);
+  CHECK_EQ(*leap::util::to_ptr<int>(marked), 5);
+}
+
+void test_spin_barrier() {
+  constexpr unsigned kThreads = 4;
+  constexpr int kRounds = 100;
+  leap::util::SpinBarrier barrier(kThreads);
+  std::atomic<int> counter{0};
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int round = 0; round < kRounds; ++round) {
+        counter.fetch_add(1);
+        barrier.arrive_and_wait();
+        // Between barriers every thread observes a full round.
+        CHECK_EQ(counter.load(), static_cast<int>(kThreads) * (round + 1));
+        barrier.arrive_and_wait();
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  CHECK_EQ(counter.load(), static_cast<int>(kThreads) * kRounds);
+}
+
+std::atomic<int> g_deleted{0};
+
+void test_ebr() {
+  g_deleted.store(0);
+  constexpr int kItems = 2000;
+  {
+    leap::util::ebr::Guard guard;
+    for (int i = 0; i < kItems; ++i) {
+      leap::util::ebr::retire(new int(i), [](void* p) {
+        delete static_cast<int*>(p);
+        g_deleted.fetch_add(1);
+      });
+    }
+  }
+  leap::util::ebr::collect();
+  CHECK_EQ(g_deleted.load(), kItems);
+  // Concurrent churn: guards + retire from several threads, then a
+  // quiescent collect must reclaim everything.
+  g_deleted.store(0);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < 5000; ++i) {
+        leap::util::ebr::Guard guard;
+        leap::util::ebr::retire(new int(i), [](void* p) {
+          delete static_cast<int*>(p);
+          g_deleted.fetch_add(1);
+        });
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  leap::util::ebr::collect();
+  CHECK_EQ(g_deleted.load(), 4 * 5000);
+  CHECK_EQ(leap::util::ebr::pending_count(), 0u);
+}
+
+}  // namespace
+
+int main() {
+  test_random();
+  test_marked_ptr();
+  test_spin_barrier();
+  test_ebr();
+  return leap::test::finish("test_util");
+}

@@ -1,0 +1,91 @@
+// Minimal, dependency-free implementation of the google/benchmark API
+// subset the abl_* microbenchmarks use. Used when the real library is
+// not available (configure with -DLEAP_USE_SYSTEM_BENCHMARK=ON to link
+// the system one instead). Honors LEAP_BENCH_SMOKE for short CI runs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace benchmark {
+
+class State {
+ public:
+  State(std::int64_t iterations, std::vector<std::int64_t> args)
+      : iterations_(iterations), args_(std::move(args)) {}
+
+  class iterator {
+   public:
+    explicit iterator(std::int64_t remaining) : remaining_(remaining) {}
+    bool operator!=(const iterator& other) const {
+      return remaining_ != other.remaining_;
+    }
+    iterator& operator++() {
+      --remaining_;
+      return *this;
+    }
+    int operator*() const { return 0; }
+
+   private:
+    std::int64_t remaining_;
+  };
+
+  iterator begin() { return iterator(iterations_); }
+  iterator end() { return iterator(0); }
+
+  std::int64_t range(std::size_t index = 0) const {
+    return index < args_.size() ? args_[index] : 0;
+  }
+
+  std::int64_t iterations() const { return iterations_; }
+
+  void SetItemsProcessed(std::int64_t items) { items_processed_ = items; }
+  std::int64_t items_processed() const { return items_processed_; }
+
+ private:
+  std::int64_t iterations_;
+  std::vector<std::int64_t> args_;
+  std::int64_t items_processed_ = 0;
+};
+
+using Function = void (*)(State&);
+
+namespace internal {
+
+class Benchmark {
+ public:
+  Benchmark(std::string name, Function fn);
+  Benchmark* Arg(std::int64_t arg);
+
+ private:
+  friend int RunAllBenchmarks();
+  std::string name_;
+  Function fn_;
+  std::vector<std::int64_t> args_;
+};
+
+Benchmark* RegisterBenchmarkInternal(const char* name, Function fn);
+int RunAllBenchmarks();
+
+}  // namespace internal
+
+template <typename T>
+inline void DoNotOptimize(T&& value) {
+  asm volatile("" : : "g"(&value) : "memory");
+}
+
+inline void ClobberMemory() { asm volatile("" : : : "memory"); }
+
+}  // namespace benchmark
+
+#define BENCHMARK_PRIVATE_CONCAT(a, b) a##b
+#define BENCHMARK_PRIVATE_NAME(line) \
+  BENCHMARK_PRIVATE_CONCAT(benchmark_registered_, line)
+
+#define BENCHMARK(fn)                                             \
+  static ::benchmark::internal::Benchmark* BENCHMARK_PRIVATE_NAME( \
+      __LINE__) = ::benchmark::internal::RegisterBenchmarkInternal(#fn, fn)
+
+#define BENCHMARK_MAIN()                                    \
+  int main() { return ::benchmark::internal::RunAllBenchmarks(); }

@@ -1,0 +1,105 @@
+#include "benchmark/benchmark.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+namespace benchmark {
+namespace internal {
+
+namespace {
+
+std::vector<std::unique_ptr<Benchmark>>& registry() {
+  static std::vector<std::unique_ptr<Benchmark>> benchmarks;
+  return benchmarks;
+}
+
+double min_run_seconds() {
+  if (std::getenv("LEAP_BENCH_SMOKE") != nullptr) return 0.002;
+  return 0.05;
+}
+
+struct RunResult {
+  double ns_per_iter = 0;
+  double items_per_sec = 0;
+  std::int64_t iterations = 0;
+};
+
+RunResult run_case(Function fn, const std::vector<std::int64_t>& args) {
+  const double min_seconds = min_run_seconds();
+  std::int64_t iterations = 1;
+  while (true) {
+    State state(iterations, args);
+    const auto start = std::chrono::steady_clock::now();
+    fn(state);
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    if (seconds >= min_seconds || iterations >= (std::int64_t{1} << 40)) {
+      RunResult result;
+      result.iterations = iterations;
+      result.ns_per_iter =
+          seconds * 1e9 / static_cast<double>(iterations);
+      if (state.items_processed() > 0 && seconds > 0) {
+        result.items_per_sec =
+            static_cast<double>(state.items_processed()) / seconds;
+      }
+      return result;
+    }
+    const double scale =
+        seconds > 0 ? min_seconds / seconds * 1.4 : 10.0;
+    const auto next = static_cast<std::int64_t>(
+        static_cast<double>(iterations) * (scale < 10.0 ? 10.0 : scale));
+    iterations = next > iterations ? next : iterations * 10;
+  }
+}
+
+}  // namespace
+
+Benchmark::Benchmark(std::string name, Function fn)
+    : name_(std::move(name)), fn_(fn) {}
+
+Benchmark* Benchmark::Arg(std::int64_t arg) {
+  args_.push_back(arg);
+  return this;
+}
+
+Benchmark* RegisterBenchmarkInternal(const char* name, Function fn) {
+  registry().push_back(std::make_unique<Benchmark>(name, fn));
+  return registry().back().get();
+}
+
+int RunAllBenchmarks() {
+  std::printf("%-40s %15s %15s %15s\n", "benchmark", "ns/op", "iters",
+              "items/s");
+  std::printf("%s\n", std::string(88, '-').c_str());
+  for (const auto& bench : registry()) {
+    std::vector<std::vector<std::int64_t>> runs;
+    if (bench->args_.empty()) {
+      runs.push_back({});
+    } else {
+      for (const std::int64_t arg : bench->args_) runs.push_back({arg});
+    }
+    for (const auto& args : runs) {
+      std::string label = bench->name_;
+      if (!args.empty()) label += "/" + std::to_string(args[0]);
+      const RunResult result = run_case(bench->fn_, args);
+      if (result.items_per_sec > 0) {
+        std::printf("%-40s %15.1f %15lld %15.0f\n", label.c_str(),
+                    result.ns_per_iter,
+                    static_cast<long long>(result.iterations),
+                    result.items_per_sec);
+      } else {
+        std::printf("%-40s %15.1f %15lld %15s\n", label.c_str(),
+                    result.ns_per_iter,
+                    static_cast<long long>(result.iterations), "-");
+      }
+    }
+  }
+  return 0;
+}
+
+}  // namespace internal
+}  // namespace benchmark
