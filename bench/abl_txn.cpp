@@ -1,0 +1,64 @@
+// Ablation: multi-list transactions — the paper's headline API.
+//
+// Workloads over 2 lists where Mix::txn_pct draws cross-list work
+// (atomic key moves and two-list range snapshots). Leap-tm runs each
+// as ONE leap::txn over both lists; Leap-LT and Leap-COP have no
+// composable form, so the adapter runs the same steps as independent
+// single-list operations — faster per step but NOT atomic (a reader
+// can see the moved key in both lists or neither). The gap between the
+// two columns is the price of cross-list atomicity; the tm/LT ratio
+// under the mixed workload is the headline number.
+#include "fig_common.hpp"
+
+using namespace leap::bench;
+
+int main() {
+  const auto duration = leap::harness::bench_duration(
+      std::chrono::milliseconds(200));
+  const int repeats = leap::harness::bench_repeats(1);
+
+  print_figure_header(
+      std::cout, "Ablation: multi-list transactions (leap::txn)",
+      "2 lists x 100K elements; txn = cross-list move or 2-list snapshot",
+      "Leap-tm pays instrumentation for atomic cross-list ops; the "
+      "single-list baselines run the same steps non-atomically");
+
+  struct MixSpec {
+    const char* name;
+    Mix mix;
+  };
+  const MixSpec mixes[] = {
+      {"move+snap (100% txn)", Mix::txn_only()},
+      {"mixed (40/20/20/20)", Mix::multi_list(40, 20, 20)},
+  };
+
+  for (const MixSpec& spec : mixes) {
+    Table table({"threads", "tm atomic", "LT split", "COP split", "tm/LT"});
+    for (const unsigned threads : leap::harness::thread_sweep()) {
+      WorkloadConfig cfg = paper_config();
+      cfg.lists = 2;
+      cfg.mix = spec.mix;
+      cfg.threads = threads;
+      cfg.duration = duration;
+
+      const double tm =
+          harness::run_workload<LeapAdapter<leap::core::LeapListTM>>(cfg,
+                                                                     repeats)
+              .ops_per_sec;
+      const double lt =
+          harness::run_workload<LeapAdapter<leap::core::LeapListLT>>(cfg,
+                                                                     repeats)
+              .ops_per_sec;
+      const double cop =
+          harness::run_workload<LeapAdapter<leap::core::LeapListCOP>>(cfg,
+                                                                      repeats)
+              .ops_per_sec;
+      table.add_row({std::to_string(threads), Table::format_ops(tm),
+                     Table::format_ops(lt), Table::format_ops(cop),
+                     Table::format_ratio(tm / std::max(lt, 1.0))});
+    }
+    std::cout << "\n-- " << spec.name << "\n";
+    table.print(std::cout);
+  }
+  return 0;
+}

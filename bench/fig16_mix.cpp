@@ -16,7 +16,8 @@ int main() {
   const unsigned threads = leap::harness::thread_sweep().back();
 
   print_figure_header(
-      std::cout, "Fig 16(a)", "lookup% sweep (no range queries), 100K, max threads",
+      std::cout, "Fig 16(a)",
+      "lookup% sweep (no range queries), 100K, max threads",
       "all variants speed up as modify% drops; LT 1.9x-2.6x over COP");
   {
     Table table(leap_table_headers("lookup%"));
@@ -32,7 +33,8 @@ int main() {
   }
 
   print_figure_header(
-      std::cout, "Fig 16(b)", "range-query% sweep (no lookups), 100K, max threads",
+      std::cout, "Fig 16(b)",
+      "range-query% sweep (no lookups), 100K, max threads",
       "all variants speed up as modify% drops; LT 2.4x-2.0x over COP");
   {
     Table table(leap_table_headers("range%"));

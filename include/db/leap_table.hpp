@@ -1,16 +1,18 @@
 // LeapTable: an in-memory table whose primary and secondary indexes are
-// Leap-LT lists — the paper's §4 pitch. Row storage is immutable: every
-// insert allocates a fresh row on an allocation registry (freed at
-// table destruction), so concurrent scans can dereference index words
-// without any per-row reclamation protocol.
+// composable leap lists — the paper's §4 pitch realized with its
+// headline API. Row storage is immutable: every insert allocates a
+// fresh row on an allocation registry (freed at table destruction), so
+// concurrent scans can dereference index words without any per-row
+// reclamation protocol.
 //
 // Secondary index keys pack (column value, row id) into one core::Key
 // so duplicate column values stay distinct; index values are pointers
 // packed into core::Value words, and scans decode rows straight from
-// the index. Index maintenance is per-index (not yet one multi-index
-// transaction — the leap list API grows that in a later PR; see
-// ROADMAP.md), so a scan racing a churned row may observe it through a
-// stale secondary entry; it never observes a torn row.
+// the index. Index maintenance is ONE transaction per row operation
+// (leap::txn over the primary plus every secondary), so no concurrent
+// reader can observe a row through a stale or phantom secondary entry:
+// a multi-index read transaction (get_in/scan_in under leap::txn) sees
+// either all of a row's index entries or none of them.
 #pragma once
 
 #include <atomic>
@@ -22,6 +24,7 @@
 
 #include "db/schema.hpp"
 #include "leaplist/leaplist.hpp"
+#include "leaplist/txn.hpp"
 
 namespace leap::db {
 
@@ -32,11 +35,11 @@ class LeapTable {
 
   explicit LeapTable(Schema schema)
       : schema_(std::move(schema)),
-        primary_(std::make_unique<core::LeapListLT>(index_params())) {
+        primary_(std::make_unique<core::LeapListTM>(index_params())) {
     for (std::size_t c : schema_.indexed_columns) {
       (void)c;
       secondary_.push_back(
-          std::make_unique<core::LeapListLT>(index_params()));
+          std::make_unique<core::LeapListTM>(index_params()));
     }
   }
 
@@ -52,6 +55,9 @@ class LeapTable {
   LeapTable(const LeapTable&) = delete;
   LeapTable& operator=(const LeapTable&) = delete;
 
+  /// Insert or replace: one transaction removes any previous version of
+  /// the row and installs the new one across the primary and every
+  /// secondary index.
   bool insert(const Row& row) {
     assert(row.values.size() == schema_.columns.size());
     assert(row.id < (RowId{1} << kIdBits));
@@ -62,7 +68,6 @@ class LeapTable {
              row.values[c] < (ColumnValue{1} << (62 - kIdBits)));
     }
 #endif
-    erase(row.id);
     Stored* stored = new Stored{row, nullptr};
     Stored* head = all_rows_.load(std::memory_order_relaxed);
     do {
@@ -70,25 +75,19 @@ class LeapTable {
     } while (!all_rows_.compare_exchange_weak(head, stored,
                                               std::memory_order_acq_rel));
     const core::Value word = to_word(stored);
-    primary_->insert(static_cast<core::Key>(row.id), word);
-    for (std::size_t i = 0; i < schema_.indexed_columns.size(); ++i) {
-      const ColumnValue value = row.values[schema_.indexed_columns[i]];
-      secondary_[i]->insert(composite_key(value, row.id), word);
-    }
+    leap::txn([&](stm::Tx& tx) {
+      erase_in(tx, row.id);
+      primary_->insert_in(tx, static_cast<core::Key>(row.id), word);
+      for (std::size_t i = 0; i < schema_.indexed_columns.size(); ++i) {
+        const ColumnValue value = row.values[schema_.indexed_columns[i]];
+        secondary_[i]->insert_in(tx, composite_key(value, row.id), word);
+      }
+    });
     return true;
   }
 
   bool erase(RowId id) {
-    const auto word = primary_->get(static_cast<core::Key>(id));
-    if (!word) return false;
-    if (!primary_->erase(static_cast<core::Key>(id))) return false;
-    const Stored* stored = to_row(*word);
-    for (std::size_t i = 0; i < schema_.indexed_columns.size(); ++i) {
-      const ColumnValue value =
-          stored->row.values[schema_.indexed_columns[i]];
-      secondary_[i]->erase(composite_key(value, id));
-    }
-    return true;
+    return leap::txn([&](stm::Tx& tx) { return erase_in(tx, id); });
   }
 
   std::optional<Row> get(RowId id) const {
@@ -101,10 +100,38 @@ class LeapTable {
   /// ordinal into Schema::indexed_columns.
   void scan(std::size_t column, ColumnValue low, ColumnValue high,
             std::vector<Row>& out) const {
+    leap::txn([&](stm::Tx& tx) { scan_in(tx, column, low, high, out); });
+  }
+
+  // --- Composable forms: enlist in a caller-owned transaction --------
+  // (leap::txn), so callers can erase + read + scan several indexes —
+  // or several tables — as one atomic unit.
+
+  bool erase_in(stm::Tx& tx, RowId id) {
+    const auto word = primary_->get_in(tx, static_cast<core::Key>(id));
+    if (!word) return false;
+    primary_->erase_in(tx, static_cast<core::Key>(id));
+    const Stored* stored = to_row(*word);
+    for (std::size_t i = 0; i < schema_.indexed_columns.size(); ++i) {
+      const ColumnValue value =
+          stored->row.values[schema_.indexed_columns[i]];
+      secondary_[i]->erase_in(tx, composite_key(value, id));
+    }
+    return true;
+  }
+
+  std::optional<Row> get_in(stm::Tx& tx, RowId id) const {
+    const auto word = primary_->get_in(tx, static_cast<core::Key>(id));
+    if (!word) return std::nullopt;
+    return to_row(*word)->row;
+  }
+
+  void scan_in(stm::Tx& tx, std::size_t column, ColumnValue low,
+               ColumnValue high, std::vector<Row>& out) const {
     out.clear();
     std::vector<core::KV> hits;
-    secondary_[column]->range_query(
-        composite_key(low, 0),
+    secondary_[column]->range_in(
+        tx, composite_key(low, 0),
         composite_key(high, (RowId{1} << kIdBits) - 1), hits);
     out.reserve(hits.size());
     for (const core::KV& kv : hits) out.push_back(to_row(kv.value)->row);
@@ -138,8 +165,8 @@ class LeapTable {
   }
 
   Schema schema_;
-  std::unique_ptr<core::LeapListLT> primary_;
-  std::vector<std::unique_ptr<core::LeapListLT>> secondary_;
+  std::unique_ptr<core::LeapListTM> primary_;
+  std::vector<std::unique_ptr<core::LeapListTM>> secondary_;
   std::atomic<Stored*> all_rows_{nullptr};
 };
 

@@ -1,7 +1,11 @@
 // Adapters presenting leap lists and skip lists to the driver through
 // one operation interface: construct-and-preload from a WorkloadConfig,
-// then op_lookup / op_range / op_modify. A workload over L lists picks
-// a list uniformly per operation (the paper's multi-list setup).
+// then op_lookup / op_range / op_modify / op_txn. A workload over L
+// lists picks a list uniformly per operation (the paper's multi-list
+// setup); op_txn draws TWO lists and runs a cross-list move or a
+// two-list range snapshot — as one leap::txn on composable lists
+// (LeapListTM), or as independent single-list ops on the rest (the
+// non-atomic baseline abl_txn contrasts).
 #pragma once
 
 #include <memory>
@@ -10,6 +14,8 @@
 #include "harness/workload.hpp"
 #include "leaplist/leaplist.hpp"
 #include "leaplist/skiplist.hpp"
+#include "leaplist/txn.hpp"
+#include "stm/stm.hpp"
 #include "util/random.hpp"
 
 namespace leap::harness {
@@ -61,6 +67,70 @@ class ListAdapterBase {
       list.insert(key, static_cast<core::Value>(key));
     } else {
       list.erase(key);
+    }
+  }
+
+  /// True when ListT exposes the composable `*_in` forms (LeapListTM).
+  static constexpr bool kComposable =
+      requires(ListT list, stm::Tx& tx, std::vector<core::KV>& out) {
+        list.insert_in(tx, core::Key{}, core::Value{});
+        list.erase_in(tx, core::Key{});
+        list.get_in(tx, core::Key{});
+        list.range_in(tx, core::Key{}, core::Key{}, out);
+      };
+
+  /// Multi-list transaction (Mix::txn_pct): half the draws atomically
+  /// move a key between two lists, half take a two-list range snapshot.
+  /// dst is drawn distinct from src whenever the workload has more than
+  /// one list, so the op measures genuinely cross-list work.
+  void op_txn(util::Xoshiro256& rng, std::vector<core::KV>& buf) {
+    const int src_index =
+        cfg_.lists == 1
+            ? 0
+            : static_cast<int>(
+                  rng.next_below(static_cast<std::uint64_t>(cfg_.lists)));
+    const int dst_index =
+        cfg_.lists == 1
+            ? 0
+            : static_cast<int>((src_index + 1 +
+                                rng.next_below(static_cast<std::uint64_t>(
+                                    cfg_.lists - 1))) %
+                               cfg_.lists);
+    ListT& src = *lists_[src_index];
+    ListT& dst = *lists_[dst_index];
+    if ((rng.next() & 1) != 0) {
+      const core::Key key = random_key(rng);
+      if constexpr (kComposable) {
+        leap::txn([&](stm::Tx& tx) {
+          const auto value = src.get_in(tx, key);
+          if (!value) return;
+          src.erase_in(tx, key);
+          dst.insert_in(tx, key, *value);
+        });
+      } else {
+        const auto value = src.get(key);
+        if (!value) return;
+        src.erase(key);
+        dst.insert(key, *value);
+      }
+    } else {
+      const std::uint64_t span =
+          cfg_.rq_span_min +
+          rng.next_below(cfg_.rq_span_max - cfg_.rq_span_min + 1);
+      const core::Key low = random_key(rng);
+      const core::Key high = low + static_cast<core::Key>(span);
+      // range_in/range_query clear their output, so the second list
+      // needs its own buffer for the snapshot to materialize.
+      static thread_local std::vector<core::KV> second;
+      if constexpr (kComposable) {
+        leap::txn([&](stm::Tx& tx) {
+          src.range_in(tx, low, high, buf);
+          dst.range_in(tx, low, high, second);
+        });
+      } else {
+        src.range_query(low, high, buf);
+        dst.range_query(low, high, second);
+      }
     }
   }
 

@@ -78,12 +78,13 @@ struct LatencyResult {
   LatencyHistogram update;
   LatencyHistogram lookup;
   LatencyHistogram range;
+  LatencyHistogram txn;
 };
 
 namespace detail {
 
 /// One operation drawn from the mix; returns which kind ran.
-enum class OpKind { kLookup, kRange, kModify };
+enum class OpKind { kLookup, kRange, kModify, kTxn };
 
 template <typename Adapter>
 OpKind run_one(Adapter& adapter, const Mix& mix, util::Xoshiro256& rng,
@@ -96,6 +97,10 @@ OpKind run_one(Adapter& adapter, const Mix& mix, util::Xoshiro256& rng,
   if (dial < mix.lookup_pct + mix.range_pct) {
     adapter.op_range(rng, buf);
     return OpKind::kRange;
+  }
+  if (dial < mix.lookup_pct + mix.range_pct + mix.txn_pct) {
+    adapter.op_txn(rng, buf);
+    return OpKind::kTxn;
   }
   adapter.op_modify(rng);
   return OpKind::kModify;
@@ -171,6 +176,9 @@ LatencyResult run_latency(Adapter& adapter, const WorkloadConfig& cfg) {
           case detail::OpKind::kModify:
             local.update.record(nanos);
             break;
+          case detail::OpKind::kTxn:
+            local.txn.record(nanos);
+            break;
         }
       }
     });
@@ -184,6 +192,7 @@ LatencyResult run_latency(Adapter& adapter, const WorkloadConfig& cfg) {
     merged.update.merge(local.update);
     merged.lookup.merge(local.lookup);
     merged.range.merge(local.range);
+    merged.txn.merge(local.txn);
   }
   return merged;
 }

@@ -11,18 +11,27 @@
 namespace leap::harness {
 
 /// Operation mix in percent; the remainder is modify (50% insert /
-/// 50% erase at the driver).
+/// 50% erase at the driver). `txn_pct` draws multi-list transactions
+/// (an atomic cross-list key move via the composable leap::txn API, or
+/// two independent single-list ops on variants without one).
 struct Mix {
   int lookup_pct = 0;
   int range_pct = 0;
+  int txn_pct = 0;
 
-  static Mix modify_only() { return Mix{0, 0}; }
-  static Mix lookup_only() { return Mix{100, 0}; }
-  static Mix range_only() { return Mix{0, 100}; }
+  static Mix modify_only() { return Mix{0, 0, 0}; }
+  static Mix lookup_only() { return Mix{100, 0, 0}; }
+  static Mix range_only() { return Mix{0, 100, 0}; }
+  static Mix txn_only() { return Mix{0, 0, 100}; }
   /// The paper's mixed workload: 40% lookup / 40% range / 20% modify.
-  static Mix read_dominated() { return Mix{40, 40}; }
-  static Mix lookup_modify(int lookup_pct) { return Mix{lookup_pct, 0}; }
-  static Mix range_modify(int range_pct) { return Mix{0, range_pct}; }
+  static Mix read_dominated() { return Mix{40, 40, 0}; }
+  static Mix lookup_modify(int lookup_pct) { return Mix{lookup_pct, 0, 0}; }
+  static Mix range_modify(int range_pct) { return Mix{0, range_pct, 0}; }
+  /// Multi-list workload: lookups, cross-list snapshots, cross-list
+  /// moves, and single-list modifies.
+  static Mix multi_list(int lookup_pct, int range_pct, int txn_pct) {
+    return Mix{lookup_pct, range_pct, txn_pct};
+  }
 };
 
 struct WorkloadConfig {

@@ -19,7 +19,11 @@
 //                then validation + pointer swing inside one commit
 //                transaction.
 //   LeapListTM   fully transactional: even the traversal is
-//                instrumented (search_predecessors_tx).
+//                instrumented (search_predecessors_tx). Uniquely among
+//                the variants it also composes: the `*_in` forms enlist
+//                in a caller-owned transaction (leaplist/txn.hpp), so
+//                one transaction can update and range-query several
+//                lists as one atomic unit.
 //   LeapListRW   global std::shared_mutex baseline.
 #pragma once
 
@@ -28,12 +32,15 @@
 #include <atomic>
 #include <cassert>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <limits>
 #include <mutex>
 #include <optional>
 #include <shared_mutex>
 #include <vector>
 
+#include "leaplist/txn.hpp"
 #include "stm/stm.hpp"
 #include "util/ebr.hpp"
 #include "util/marked_ptr.hpp"
@@ -87,6 +94,23 @@ struct Node {
 inline void assert_user_key([[maybe_unused]] Key key) {
   assert(key > std::numeric_limits<Key>::min());
   assert(key < kSentinelKey);
+}
+
+/// Always-on nesting guard (NOT an assert: Release builds must fail
+/// just as loudly). LT/COP/Skip-tm update paths act on commit success
+/// immediately, so enlisting them in an enclosing transaction — which
+/// would flat-nest their internal atomically and defer the publish —
+/// silently corrupts the structure: locks released and victims retired
+/// for an update that may never commit. The composable, nestable API
+/// is LeapListTM's `*_in` forms (and its single-op wrappers).
+inline void require_no_open_tx(const char* what) {
+  if (stm::tls_tx().in_tx()) {
+    std::fprintf(stderr,
+                 "leaplist: %s cannot enlist in an open transaction; use "
+                 "LeapListTM\n",
+                 what);
+    std::abort();
+  }
 }
 
 /// Sort by key; duplicate keys keep the last value (the semantics every
@@ -384,6 +408,19 @@ class LeapListBase {
     plan.n1 = plan.n2 = nullptr;
   }
 
+  /// Fresh-node next word: initialize the memory now — a raw traversal
+  /// crossing the node mid-publish must see a valid pointer — AND
+  /// enlist the word in the write set so it publishes carrying the
+  /// commit version. A fresh field left at version 0 would let a
+  /// read-only transaction whose snapshot predates this commit read
+  /// post-commit state undetected (TL2 opacity hole: the version check
+  /// `0 <= rv_` always passes).
+  static void publish_word(stm::Tx& tx, stm::TxField<std::uint64_t>& field,
+                           std::uint64_t word) {
+    field.init(word);
+    field.tx_write(tx, word);
+  }
+
   /// Transactional pointer swing: initializes the replacement nodes'
   /// next words from in-transaction reads of the victim's, relinks the
   /// predecessors, and marks the victim. The victim's content must be
@@ -395,15 +432,16 @@ class LeapListBase {
     Node* n2 = plan.n2;
     if (n2 != nullptr) {
       for (int i = 0; i < n2->level; ++i) {
-        n2->next[i].init(n->next[i].tx_read(tx));
+        publish_word(tx, n2->next[i], n->next[i].tx_read(tx));
       }
       for (int i = 0; i < n1->level; ++i) {
-        n1->next[i].init(i < n2->level ? util::to_word(n2)
-                                       : util::to_word(sr.na[i]));
+        publish_word(tx, n1->next[i],
+                     i < n2->level ? util::to_word(n2)
+                                   : util::to_word(sr.na[i]));
       }
     } else {
       for (int i = 0; i < n1->level; ++i) {
-        n1->next[i].init(n->next[i].tx_read(tx));
+        publish_word(tx, n1->next[i], n->next[i].tx_read(tx));
       }
     }
     for (int i = 0; i < plan.link_top; ++i) {
@@ -431,6 +469,176 @@ class LeapListBase {
     return true;
   }
 
+  // --- Composable (in-transaction) operation core --------------------
+  //
+  // The txn_* methods enlist one list operation in a caller-owned open
+  // transaction: structural writes buffer in the caller's write set,
+  // the victim retires through a deferred commit action, and the
+  // speculative replacement nodes are freed by a deferred abort action,
+  // so any number of operations over any number of lists commit (or
+  // vanish) as one unit. Callers must hold an ebr::Guard for the whole
+  // transaction — leap::txn does.
+  //
+  // kHybrid search safety: the raw traversal runs after the attempt's
+  // begin(), so every word it observed either still carries a version
+  // <= rv_ at commit (commit_locked rejects written fields newer than
+  // rv_, and tx_read rejects read fields newer than rv_) or the
+  // attempt aborts — a concurrently reshaped window can never publish.
+  // The one thing the raw traversal cannot see is this transaction's
+  // OWN buffered writes; window_self_dirty detects that overlap and
+  // routes the operation to the instrumented search, which reads its
+  // own writes.
+
+  /// How a composable operation locates its window: kHybrid pays a raw
+  /// COP-style search when possible; kInstrumented always pays the
+  /// fully instrumented search (the paper's Leap-tm discipline).
+  enum class TxSearch { kHybrid, kInstrumented };
+
+  /// True when the open transaction already buffered a write to any
+  /// word this update's swap would read or overwrite.
+  bool window_self_dirty(const stm::Tx& tx, const SearchResult& sr,
+                         const Node* n) const {
+    for (int i = 0; i < n->level; ++i) {
+      if (tx.has_write(n->next[i])) return true;
+    }
+    for (int i = 0; i < params_.max_level; ++i) {
+      if (tx.has_write(sr.pa[i]->next[i])) return true;
+    }
+    return false;
+  }
+
+  /// Tie a planned replacement to the transaction outcome. Must run
+  /// before apply_swap so an abort inside the swap still reclaims the
+  /// plan nodes (nothing has seen them).
+  static void enlist_swap(stm::Tx& tx, Node* victim,
+                          const Replacement& plan) {
+    Node* n1 = plan.n1;
+    Node* n2 = plan.n2;
+    tx.defer_on_abort([n1, n2] {
+      delete n1;
+      delete n2;
+    });
+    tx.defer_on_commit([victim] {
+      victim->live.store(false, std::memory_order_release);
+      util::ebr::retire(victim);
+    });
+  }
+
+  bool txn_insert(stm::Tx& tx, Key key, Value value, TxSearch mode) {
+    assert_user_key(key);
+    assert(tx.in_tx());
+    SearchResult sr;
+    Node* n = nullptr;
+    if (mode == TxSearch::kHybrid) {
+      sr = search_predecessors(head_, params_.max_level, key);
+      if (!window_self_dirty(tx, sr, sr.na[0])) n = sr.na[0];
+    }
+    if (n == nullptr) {
+      sr = search_predecessors_tx(tx, head_, params_.max_level, key);
+      n = sr.na[0];
+    }
+    const Replacement plan = plan_insert(n, key, value);
+    enlist_swap(tx, n, plan);
+    apply_swap(tx, sr, n, plan);
+    return plan.inserted;
+  }
+
+  bool txn_erase(stm::Tx& tx, Key key, TxSearch mode) {
+    assert(tx.in_tx());
+    SearchResult sr;
+    Node* n = nullptr;
+    bool hybrid = false;
+    if (mode == TxSearch::kHybrid) {
+      sr = search_predecessors(head_, params_.max_level, key);
+      if (!window_self_dirty(tx, sr, sr.na[0])) {
+        n = sr.na[0];
+        hybrid = true;
+      }
+    }
+    if (n == nullptr) {
+      sr = search_predecessors_tx(tx, head_, params_.max_level, key);
+      n = sr.na[0];
+    }
+    Node* n1 = plan_erase(n, key);
+    if (n1 == nullptr) {
+      // Absent. Pin the cover node's identity so the absence is part of
+      // the read set (the instrumented search did this implicitly).
+      if (hybrid) (void)sr.pa[0]->next[0].tx_read(tx);
+      return false;
+    }
+    Replacement plan;
+    plan.n1 = n1;
+    plan.link_top = n->level;
+    enlist_swap(tx, n, plan);
+    apply_swap(tx, sr, n, plan);
+    return true;
+  }
+
+  std::optional<Value> txn_get(stm::Tx& tx, Key key, TxSearch mode) const {
+    assert(tx.in_tx());
+    if (mode == TxSearch::kHybrid) {
+      const SearchResult sr =
+          search_predecessors(head_, params_.max_level, key);
+      // Replacing the cover node rewrites its (unique) bottom-level
+      // predecessor word, so one clean hop pins the node's identity and
+      // immutable content makes the read valid.
+      if (!tx.has_write(sr.pa[0]->next[0])) {
+        (void)sr.pa[0]->next[0].tx_read(tx);
+        const Node* n = sr.na[0];
+        const int idx = find_in(n, key);
+        if (idx < 0) return std::nullopt;
+        return n->values[idx];
+      }
+    }
+    const SearchResult sr =
+        search_predecessors_tx(tx, head_, params_.max_level, key);
+    const Node* n = sr.na[0];
+    const int idx = find_in(n, key);
+    if (idx < 0) return std::nullopt;
+    return n->values[idx];
+  }
+
+  std::size_t txn_range(stm::Tx& tx, Key low, Key high, std::vector<KV>& out,
+                        TxSearch mode) const {
+    assert(tx.in_tx());
+    out.clear();
+    if (mode == TxSearch::kHybrid) {
+      const SearchResult sr =
+          search_predecessors(head_, params_.max_level, low);
+      Node* x = sr.pa[0];
+      while (true) {
+        if (tx.has_write(x->next[0])) {
+          // The chain ahead was reshaped by this transaction; only the
+          // instrumented walk sees the buffered pointers.
+          break;
+        }
+        const std::uint64_t word = x->next[0].tx_read(tx);
+        if (util::is_marked(word)) {
+          // Unreachable by construction (a pre-begin mark implies the
+          // hop word was re-pointed; a post-begin mark aborts the
+          // tx_read above) — abort defensively rather than hop on it.
+          tx.abort();
+        }
+        Node* n = util::to_ptr<Node>(word);
+        collect_range(n, low, high, out);
+        if (n->high_raw() >= high) return out.size();
+        x = n;
+      }
+      out.clear();
+    }
+    const SearchResult sr =
+        search_predecessors_tx(tx, head_, params_.max_level, low);
+    Node* n = sr.na[0];
+    while (true) {
+      collect_range(n, low, high, out);
+      if (n->high_raw() >= high) break;
+      const std::uint64_t word = n->next[0].tx_read(tx);
+      if (util::is_marked(word)) tx.abort();
+      n = util::to_ptr<Node>(word);
+    }
+    return out.size();
+  }
+
   Node* data_next(const Node* n, int level = 0) const {
     return util::to_ptr<Node>(util::without_mark(n->next[level].load_word()));
   }
@@ -449,6 +657,7 @@ class LeapListLT : public LeapListBase {
 
   bool insert(Key key, Value value) {
     assert_user_key(key);
+    require_no_open_tx("LeapListLT update");
     util::ebr::Guard guard;
     while (true) {
       const SearchResult sr =
@@ -461,6 +670,7 @@ class LeapListLT : public LeapListBase {
   }
 
   bool erase(Key key) {
+    require_no_open_tx("LeapListLT update");
     util::ebr::Guard guard;
     while (true) {
       const SearchResult sr =
@@ -564,6 +774,7 @@ class LeapListCOP : public LeapListBase {
 
   bool insert(Key key, Value value) {
     assert_user_key(key);
+    require_no_open_tx("LeapListCOP update");
     util::ebr::Guard guard;
     stm::Tx& tx = stm::tls_tx();
     while (true) {
@@ -586,6 +797,7 @@ class LeapListCOP : public LeapListBase {
   }
 
   bool erase(Key key) {
+    require_no_open_tx("LeapListCOP update");
     util::ebr::Guard guard;
     stm::Tx& tx = stm::tls_tx();
     while (true) {
@@ -671,95 +883,59 @@ class LeapListCOP : public LeapListBase {
 };
 
 /// Leap-tm (paper §2.3): every operation, traversal included, runs as
-/// one fully instrumented transaction.
+/// one fully instrumented transaction. The only variant with a
+/// composable surface: the `*_in` forms enlist in a caller-owned open
+/// transaction (leap::txn), so one transaction can move keys between
+/// lists, update several lists, and take multi-list range snapshots as
+/// one atomic unit. Composable forms use the hybrid search (raw
+/// COP-style traversal validated against the transaction's write set);
+/// single-op forms keep the paper's fully instrumented discipline and
+/// flat-nest into an enclosing leap::txn when called from one.
 class LeapListTM : public LeapListBase {
  public:
   using LeapListBase::LeapListBase;
 
+  // Composable forms — require an open transaction.
+  bool insert_in(stm::Tx& tx, Key key, Value value) {
+    return txn_insert(tx, key, value, TxSearch::kHybrid);
+  }
+
+  bool erase_in(stm::Tx& tx, Key key) {
+    return txn_erase(tx, key, TxSearch::kHybrid);
+  }
+
+  std::optional<Value> get_in(stm::Tx& tx, Key key) const {
+    return txn_get(tx, key, TxSearch::kHybrid);
+  }
+
+  std::size_t range_in(stm::Tx& tx, Key low, Key high,
+                       std::vector<KV>& out) const {
+    return txn_range(tx, low, high, out, TxSearch::kHybrid);
+  }
+
+  // Single-op forms — one transaction per call.
   bool insert(Key key, Value value) {
-    assert_user_key(key);
-    util::ebr::Guard guard;
-    stm::Tx& tx = stm::tls_tx();
-    std::vector<Node*> allocs;
-    Node* victim = nullptr;
-    bool inserted = false;
-    stm::atomically(tx, [&](stm::Tx& t) {
-      for (Node* p : allocs) delete p;
-      allocs.clear();
-      const SearchResult sr =
-          search_predecessors_tx(t, head_, params_.max_level, key);
-      Node* n = sr.na[0];
-      const Replacement plan = plan_insert(n, key, value);
-      allocs.push_back(plan.n1);
-      if (plan.n2 != nullptr) allocs.push_back(plan.n2);
-      apply_swap(t, sr, n, plan);
-      victim = n;
-      inserted = plan.inserted;
+    return leap::txn([&](stm::Tx& tx) {
+      return txn_insert(tx, key, value, TxSearch::kInstrumented);
     });
-    victim->live.store(false, std::memory_order_release);
-    util::ebr::retire(victim);
-    return inserted;
   }
 
   bool erase(Key key) {
-    util::ebr::Guard guard;
-    stm::Tx& tx = stm::tls_tx();
-    std::vector<Node*> allocs;
-    Node* victim = nullptr;
-    stm::atomically(tx, [&](stm::Tx& t) {
-      for (Node* p : allocs) delete p;
-      allocs.clear();
-      victim = nullptr;
-      const SearchResult sr =
-          search_predecessors_tx(t, head_, params_.max_level, key);
-      Node* n = sr.na[0];
-      Node* n1 = plan_erase(n, key);
-      if (n1 == nullptr) return;
-      allocs.push_back(n1);
-      Replacement plan;
-      plan.n1 = n1;
-      plan.link_top = n->level;
-      apply_swap(t, sr, n, plan);
-      victim = n;
+    return leap::txn([&](stm::Tx& tx) {
+      return txn_erase(tx, key, TxSearch::kInstrumented);
     });
-    if (victim == nullptr) return false;
-    victim->live.store(false, std::memory_order_release);
-    util::ebr::retire(victim);
-    return true;
   }
 
   std::optional<Value> get(Key key) const {
-    util::ebr::Guard guard;
-    stm::Tx& tx = stm::tls_tx();
-    std::optional<Value> result;
-    stm::atomically(tx, [&](stm::Tx& t) {
-      result.reset();
-      const SearchResult sr =
-          search_predecessors_tx(t, head_, params_.max_level, key);
-      const Node* n = sr.na[0];
-      const int idx = find_in(n, key);
-      if (idx >= 0) result = n->values[idx];
+    return leap::txn([&](stm::Tx& tx) {
+      return txn_get(tx, key, TxSearch::kInstrumented);
     });
-    return result;
   }
 
   std::size_t range_query(Key low, Key high, std::vector<KV>& out) const {
-    util::ebr::Guard guard;
-    stm::Tx& tx = stm::tls_tx();
-    stm::atomically(tx, [&](stm::Tx& t) {
-      out.clear();
-      const SearchResult sr =
-          search_predecessors_tx(t, head_, params_.max_level, low);
-      Node* n = sr.na[0];
-      while (true) {
-        collect_range(n, low, high, out);
-        if (n->high_raw() >= high) break;
-        const std::uint64_t word = n->next[0].tx_read(t);
-        if (util::is_marked(word)) t.abort();
-        n = util::to_ptr<Node>(word);
-      }
+    return leap::txn([&](stm::Tx& tx) {
+      return txn_range(tx, low, high, out, TxSearch::kInstrumented);
     });
-    return out.size();
   }
 };
 

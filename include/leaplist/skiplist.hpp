@@ -4,16 +4,19 @@
 //   SkipListCAS  lock-free skiplist in the Herlihy–Shavit style with
 //                marked next pointers. Range scans are unsynchronized —
 //                fast but NOT linearizable, which is exactly the
-//                trade-off Figure 17(d) is about. Nodes are kept on an
-//                allocation registry and reclaimed at destruction (a
-//                snipped node can remain referenced from higher index
-//                levels, so eager per-node reclamation is unsafe
-//                without a stronger protocol).
+//                trade-off Figure 17(d) is about. Reclamation is eager
+//                through the shared EBR domain: a snipped node can
+//                remain referenced from higher index levels, so each
+//                node counts its remaining linked levels and retires on
+//                the unlink that drops the count to zero (inserts that
+//                bail before fully linking give back the never-linked
+//                levels). Every operation runs under an ebr::Guard.
 //
 //   SkipListTM   the same structure with every access instrumented
 //                through the STM — the paper's Skip-tm straw man.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cassert>
 #include <cstdint>
@@ -37,34 +40,56 @@ using core::Value;
 class SkipListCAS {
   struct Node {
     Node(Key key_in, Value value_in, int level_in)
-        : key(key_in), value(value_in), level(level_in), next(level_in) {}
+        : key(key_in),
+          value(value_in),
+          level(level_in),
+          links_remaining(level_in),
+          next(level_in) {}
     const Key key;
     std::atomic<Value> value;
     const int level;
+    /// Linked levels not yet unlinked. Starts at `level`; each
+    /// successful snip gives back one, an insert that bails before
+    /// fully linking gives back the never-linked levels; whoever drops
+    /// it to zero retires the node (it is unreachable from every level
+    /// from then on — only already-pinned traversals can still hold
+    /// it, which is exactly what EBR covers).
+    std::atomic<int> links_remaining;
     std::vector<std::atomic<std::uint64_t>> next;  // marked words
-    std::atomic<Node*> alloc_next{nullptr};        // allocation registry
   };
 
  public:
   explicit SkipListCAS(const Params& params)
       : max_level_(params.max_level) {
     assert(max_level_ >= 1 && max_level_ <= core::kMaxHeight);
-    head_ = register_node(
-        new Node(std::numeric_limits<Key>::min(), 0, max_level_));
-    tail_ = register_node(
-        new Node(std::numeric_limits<Key>::max(), 0, max_level_));
+    head_ = new Node(std::numeric_limits<Key>::min(), 0, max_level_);
+    tail_ = new Node(std::numeric_limits<Key>::max(), 0, max_level_);
     for (int i = 0; i < max_level_; ++i) {
       head_->next[i].store(util::to_word(tail_), std::memory_order_relaxed);
     }
   }
 
   ~SkipListCAS() {
-    Node* cur = all_nodes_.load(std::memory_order_acquire);
-    while (cur != nullptr) {
-      Node* nxt = cur->alloc_next.load(std::memory_order_relaxed);
-      delete cur;
-      cur = nxt;
+    // A marked node can still be linked at some levels (snipping is
+    // lazy), so sweep every level, dedup, and free once; fully-unlinked
+    // nodes already went through EBR and are drained by collect().
+    std::vector<Node*> linked;
+    const auto next_of = [](const Node* n, int i) {
+      return util::to_ptr<Node>(
+          util::without_mark(n->next[i].load(std::memory_order_acquire)));
+    };
+    for (int i = max_level_ - 1; i >= 0; --i) {
+      for (Node* cur = next_of(head_, i); cur != tail_;
+           cur = next_of(cur, i)) {
+        linked.push_back(cur);
+      }
     }
+    std::sort(linked.begin(), linked.end());
+    linked.erase(std::unique(linked.begin(), linked.end()), linked.end());
+    for (Node* node : linked) delete node;
+    delete head_;
+    delete tail_;
+    util::ebr::collect();
   }
 
   SkipListCAS(const SkipListCAS&) = delete;
@@ -74,7 +99,7 @@ class SkipListCAS {
     std::array<Node*, core::kMaxHeight> last;
     last.fill(head_);
     for (const KV& kv : core::sorted_unique(pairs)) {
-      Node* node = register_node(new Node(kv.key, kv.value, random_level()));
+      Node* node = new Node(kv.key, kv.value, random_level());
       for (int i = 0; i < node->level; ++i) {
         last[i]->next[i].store(util::to_word(node),
                                std::memory_order_relaxed);
@@ -88,6 +113,7 @@ class SkipListCAS {
   }
 
   bool insert(Key key, Value value) {
+    util::ebr::Guard guard;
     Node* preds[core::kMaxHeight];
     Node* succs[core::kMaxHeight];
     while (true) {
@@ -95,7 +121,7 @@ class SkipListCAS {
         succs[0]->value.store(value, std::memory_order_release);
         return false;
       }
-      Node* node = register_node(new Node(key, value, random_level()));
+      Node* node = new Node(key, value, random_level());
       for (int i = 0; i < node->level; ++i) {
         node->next[i].store(util::to_word(succs[i]),
                             std::memory_order_relaxed);
@@ -103,12 +129,17 @@ class SkipListCAS {
       std::uint64_t expected = util::to_word(succs[0]);
       if (!preds[0]->next[0].compare_exchange_strong(
               expected, util::to_word(node), std::memory_order_acq_rel)) {
-        continue;  // node stays on the registry; retry from scratch
+        delete node;  // never published; retry from scratch
+        continue;
       }
       for (int i = 1; i < node->level; ++i) {
         while (true) {
           std::uint64_t own = node->next[i].load(std::memory_order_acquire);
-          if (util::is_marked(own)) return true;  // concurrently erased
+          if (util::is_marked(own)) {
+            // Concurrently erased; levels i.. were never linked.
+            give_back_links(node, node->level - i);
+            return true;
+          }
           if (util::to_ptr<Node>(own) != succs[i] &&
               !node->next[i].compare_exchange_strong(
                   own, util::to_word(succs[i]), std::memory_order_acq_rel)) {
@@ -120,7 +151,11 @@ class SkipListCAS {
             break;
           }
           find(key, preds, succs);
-          if (succs[0] != node) return true;  // removed before fully linked
+          if (succs[0] != node) {
+            // Removed before fully linked; levels i.. never happened.
+            give_back_links(node, node->level - i);
+            return true;
+          }
         }
       }
       return true;
@@ -128,6 +163,7 @@ class SkipListCAS {
   }
 
   bool erase(Key key) {
+    util::ebr::Guard guard;
     Node* preds[core::kMaxHeight];
     Node* succs[core::kMaxHeight];
     if (!find(key, preds, succs)) return false;
@@ -151,6 +187,7 @@ class SkipListCAS {
   }
 
   std::optional<Value> get(Key key) const {
+    util::ebr::Guard guard;
     Node* pred = head_;
     Node* curr = nullptr;
     for (int i = max_level_ - 1; i >= 0; --i) {
@@ -179,6 +216,7 @@ class SkipListCAS {
   /// Unsynchronized scan — pays one hop per key and may interleave with
   /// concurrent updates (NOT a consistent snapshot; see Fig 17(d)).
   std::size_t range_query(Key low, Key high, std::vector<KV>& out) const {
+    util::ebr::Guard guard;
     out.clear();
     Node* pred = head_;
     for (int i = max_level_ - 1; i >= 0; --i) {
@@ -196,7 +234,8 @@ class SkipListCAS {
       const std::uint64_t succw =
           curr->next[0].load(std::memory_order_acquire);
       if (curr->key >= low && !util::is_marked(succw)) {
-        out.push_back(KV{curr->key, curr->value.load(std::memory_order_acquire)});
+        out.push_back(
+            KV{curr->key, curr->value.load(std::memory_order_acquire)});
       }
       curr = util::to_ptr<Node>(succw);
     }
@@ -205,7 +244,11 @@ class SkipListCAS {
 
  private:
   /// Herlihy–Shavit find: locates the window for `key` at every level
-  /// and physically snips marked nodes encountered on the way.
+  /// and physically snips marked nodes encountered on the way. Each
+  /// level of a node is linked once and snipped once (a racing insert
+  /// can only transfer the incoming link onto a fresh predecessor, not
+  /// duplicate it), so the per-snip give-back is exact. Caller must
+  /// hold an ebr::Guard.
   bool find(Key key, Node** preds, Node** succs) const {
   retry:
     Node* pred = head_;
@@ -221,6 +264,7 @@ class SkipListCAS {
                   std::memory_order_acq_rel)) {
             goto retry;
           }
+          give_back_links(curr, 1);
           curr = util::to_ptr<Node>(
               pred->next[i].load(std::memory_order_acquire));
           succw = curr->next[i].load(std::memory_order_acquire);
@@ -238,13 +282,14 @@ class SkipListCAS {
     return succs[0]->key == key;
   }
 
-  Node* register_node(Node* node) {
-    Node* head = all_nodes_.load(std::memory_order_relaxed);
-    do {
-      node->alloc_next.store(head, std::memory_order_relaxed);
-    } while (!all_nodes_.compare_exchange_weak(head, node,
-                                               std::memory_order_acq_rel));
-    return node;
+  /// Give back `count` of the node's linked levels; the caller that
+  /// returns the last one retires the node. Requires an active Guard.
+  static void give_back_links(Node* node, int count) {
+    if (count == 0) return;
+    if (node->links_remaining.fetch_sub(count, std::memory_order_acq_rel) ==
+        count) {
+      util::ebr::retire(node);
+    }
   }
 
   int random_level() const {
@@ -254,7 +299,6 @@ class SkipListCAS {
   const int max_level_;
   Node* head_;
   Node* tail_;
-  std::atomic<Node*> all_nodes_{nullptr};
 };
 
 class SkipListTM {
@@ -307,6 +351,7 @@ class SkipListTM {
   }
 
   bool insert(Key key, Value value) {
+    core::require_no_open_tx("Skip-tm update");
     util::ebr::Guard guard;
     stm::Tx& tx = stm::tls_tx();
     Node* node = nullptr;
@@ -323,7 +368,11 @@ class SkipListTM {
       }
       node = new Node(key, value, random_level());
       for (int i = 0; i < node->level; ++i) {
+        // init for raw visibility mid-publish, tx_write so the fresh
+        // word carries the commit version (a version-0 word would slip
+        // past older snapshots' read validation — opacity hole).
         node->next[i].init(util::to_word(succs[i]));
+        node->next[i].tx_write(t, util::to_word(succs[i]));
         preds[i]->next[i].tx_write(t, util::to_word(node));
       }
       inserted = true;
@@ -332,6 +381,7 @@ class SkipListTM {
   }
 
   bool erase(Key key) {
+    core::require_no_open_tx("Skip-tm update");
     util::ebr::Guard guard;
     stm::Tx& tx = stm::tls_tx();
     Node* victim = nullptr;

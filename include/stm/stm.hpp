@@ -12,6 +12,11 @@
 //     back to an irrevocable mode serialized by a global rw-mutex that
 //     every writer commit briefly shares — opt-in starvation freedom
 //     without slowing the optimistic read path.
+//   * Composition: atomically flat-nests on re-entry, and Tx carries
+//     deferred commit/abort actions so multi-structure operations (one
+//     transaction over several leap lists; see leaplist/txn.hpp) can
+//     postpone node retirement and speculative-allocation cleanup to
+//     the shared outcome.
 //
 // Concurrency contract: TxField::load/store are safe against concurrent
 // transactions (store performs a miniature locked commit). Raw stores
@@ -23,6 +28,7 @@
 #include <atomic>
 #include <cstdint>
 #include <cstring>
+#include <functional>
 #include <thread>
 #include <type_traits>
 #include <vector>
@@ -133,6 +139,31 @@ class Tx {
     writes_.push_back({&field, value, 0});
   }
 
+  /// True when the transaction already buffered a write to `field`.
+  /// Composable structure ops use this to detect that their raw
+  /// (uninstrumented) traversal walked a window this transaction has
+  /// itself reshaped, and fall back to an instrumented search.
+  bool has_write(const TxFieldBase& field) const noexcept {
+    for (const WriteEntry& w : writes_) {
+      if (w.field == &field) return true;
+    }
+    return false;
+  }
+
+  /// Deferred side effects for composable ops. A commit action runs
+  /// exactly once, after the attempt that registered it commits (victim
+  /// retirement); an abort action runs when that attempt aborts for any
+  /// reason — conflict, failed commit validation, or user abort —
+  /// (freeing speculative replacement nodes). Both lists reset at every
+  /// attempt begin, so a retried closure re-registers its actions.
+  /// Actions run outside the commit-time locks, in registration order.
+  void defer_on_commit(std::function<void()> action) {
+    commit_actions_.push_back(std::move(action));
+  }
+  void defer_on_abort(std::function<void()> action) {
+    abort_actions_.push_back(std::move(action));
+  }
+
   bool in_tx() const noexcept { return active_; }
   std::uint64_t commits() const noexcept { return commits_; }
   std::uint64_t aborts() const noexcept { return aborts_; }
@@ -156,6 +187,8 @@ class Tx {
   void begin(bool irrevocable) {
     reads_.clear();
     writes_.clear();
+    commit_actions_.clear();
+    abort_actions_.clear();
     irrevocable_ = irrevocable;
     active_ = true;
     rv_ = detail::global_clock().load(std::memory_order_acquire);
@@ -164,6 +197,22 @@ class Tx {
   void on_abort() {
     active_ = false;
     ++aborts_;
+  }
+
+  /// Run (and drop) this attempt's deferred actions. finish_commit must
+  /// only run after a successful commit, finish_abort after an abort;
+  /// both are called from atomically/try_atomically outside the commit
+  /// gate so actions may take arbitrary time (EBR retire, frees).
+  void finish_commit() {
+    for (auto& action : commit_actions_) action();
+    commit_actions_.clear();
+    abort_actions_.clear();
+  }
+
+  void finish_abort() {
+    for (auto& action : abort_actions_) action();
+    commit_actions_.clear();
+    abort_actions_.clear();
   }
 
   bool commit() {
@@ -238,12 +287,7 @@ class Tx {
     return true;
   }
 
-  bool owns(const TxFieldBase* field) const {
-    for (const WriteEntry& w : writes_) {
-      if (w.field == field) return true;
-    }
-    return false;
-  }
+  bool owns(const TxFieldBase* field) const { return has_write(*field); }
 
   std::uint64_t saved_version_of(const TxFieldBase* field) const {
     for (const WriteEntry& w : writes_) {
@@ -261,6 +305,8 @@ class Tx {
 
   std::vector<ReadEntry> reads_;
   std::vector<WriteEntry> writes_;
+  std::vector<std::function<void()>> commit_actions_;
+  std::vector<std::function<void()>> abort_actions_;
   std::uint64_t rv_ = 0;
   std::uint64_t commits_ = 0;
   std::uint64_t aborts_ = 0;
@@ -323,8 +369,21 @@ inline constexpr unsigned kMaxOptimisticAttempts = 64;
 /// Run `fn(tx)` as an atomic transaction, retrying on conflict; after
 /// kMaxOptimisticAttempts aborts, runs irrevocably under the global
 /// commit gate (guaranteed to commit barring an explicit user abort).
+///
+/// Re-entry is flat-nested: when `tx` is already active (an enclosing
+/// atomically owns it), the closure simply enlists in the enclosing
+/// transaction — its reads/writes/deferred actions join the outer
+/// attempt, aborts unwind to the outer retry loop, and nothing is
+/// published until the outer commit. Only closures whose post-commit
+/// effects go through Tx::defer_on_commit/defer_on_abort compose this
+/// way; code that acts on "atomically returned, so it committed" must
+/// not run inside an open transaction.
 template <typename Fn>
 void atomically(Tx& tx, Fn&& fn) {
+  if (tx.in_tx()) {
+    fn(tx);
+    return;
+  }
   while (true) {
     for (unsigned attempt = 0; attempt < detail::kMaxOptimisticAttempts;
          ++attempt) {
@@ -333,14 +392,27 @@ void atomically(Tx& tx, Fn&& fn) {
         fn(tx);
       } catch (const TxAborted&) {
         tx.on_abort();
+        tx.finish_abort();
         detail::backoff(attempt);
         continue;
+      } catch (...) {
+        // Foreign exception: abort the attempt before propagating, or
+        // the still-active Tx would flat-nest (and swallow) every later
+        // transaction on this thread.
+        tx.on_abort();
+        tx.finish_abort();
+        throw;
       }
-      if (tx.commit()) return;
+      if (tx.commit()) {
+        tx.finish_commit();
+        return;
+      }
+      tx.finish_abort();
       detail::backoff(attempt);
     }
     // Irrevocable fallback: exclusive gate quiesces all commits, so
-    // reads cannot be invalidated and the commit cannot fail.
+    // reads cannot be invalidated and the commit cannot fail — unless a
+    // raw TxField::store (which bypasses the gate) races the fallback.
     detail::commit_gate_lock_exclusive();
     tx.begin(true);
     bool user_abort = false;
@@ -349,27 +421,54 @@ void atomically(Tx& tx, Fn&& fn) {
     } catch (const TxAborted&) {
       tx.on_abort();
       user_abort = true;
+    } catch (...) {
+      tx.on_abort();
+      detail::commit_gate_unlock_exclusive();
+      tx.finish_abort();  // outside the gate, like every action run
+      throw;
     }
-    if (!user_abort) tx.commit();
+    const bool committed = !user_abort && tx.commit();
     detail::commit_gate_unlock_exclusive();
-    if (!user_abort) return;
+    if (committed) {
+      tx.finish_commit();
+      return;
+    }
+    tx.finish_abort();
     // The lambda aborted on data it saw under quiescence (e.g. a marked
-    // pointer that needs an out-of-tx restart): hand control back to
-    // the optimistic loop.
+    // pointer that needs an out-of-tx restart), or a racing raw store
+    // invalidated the attempt: hand control back to the optimistic
+    // loop. Commit actions must never run for an unpublished attempt.
   }
 }
 
-/// Single attempt; returns true iff the transaction committed.
+/// Single attempt; returns true iff the transaction committed. Inside
+/// an open transaction it flat-nests like atomically (the enlistment
+/// itself always succeeds, so it returns true; the enclosing commit
+/// decides the outcome).
 template <typename Fn>
 bool try_atomically(Tx& tx, Fn&& fn) {
+  if (tx.in_tx()) {
+    fn(tx);
+    return true;
+  }
   tx.begin(false);
   try {
     fn(tx);
   } catch (const TxAborted&) {
     tx.on_abort();
+    tx.finish_abort();
     return false;
+  } catch (...) {
+    tx.on_abort();
+    tx.finish_abort();
+    throw;
   }
-  return tx.commit();
+  if (tx.commit()) {
+    tx.finish_commit();
+    return true;
+  }
+  tx.finish_abort();
+  return false;
 }
 
 }  // namespace leap::stm

@@ -2,11 +2,23 @@
 // the toolchain image is intentionally dependency-free).
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 
 namespace leap::test {
+
+/// Stress-test window: LEAP_STRESS_MS overrides `preferred` (the CI
+/// sanitizer jobs shrink every stress loop through it).
+inline std::chrono::milliseconds stress_duration(
+    std::chrono::milliseconds preferred) {
+  if (const char* raw = std::getenv("LEAP_STRESS_MS")) {
+    const long ms = std::strtol(raw, nullptr, 10);
+    if (ms > 0) return std::chrono::milliseconds(ms);
+  }
+  return preferred;
+}
 
 inline int& failure_count() {
   static int failures = 0;

@@ -1,18 +1,27 @@
 // Table layer tests: LeapTable and LockedTreeTable against a naive
-// reference, plus a concurrent smoke over LeapTable.
+// reference, a concurrent smoke over LeapTable, and the multi-index
+// consistency battery for the one-transaction index maintenance.
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <cstdlib>
 #include <thread>
 #include <vector>
 
 #include "db/leap_table.hpp"
 #include "db/locked_table.hpp"
+#include "leaplist/txn.hpp"
 #include "test_common.hpp"
 #include "util/random.hpp"
 
 using namespace leap::db;
+namespace stm = leap::stm;
 
 namespace {
+
+std::chrono::milliseconds stress_duration() {
+  return leap::test::stress_duration(std::chrono::milliseconds(400));
+}
 
 Schema test_schema() {
   Schema schema;
@@ -124,11 +133,127 @@ void test_concurrent_smoke() {
   std::printf("  concurrent smoke ok\n");
 }
 
+// Writers keep every row's two indexed columns equal; multi-index read
+// transactions must never see the indexes disagree — about membership
+// (a row reachable through one index but not the other at the same
+// value) or about content (a scan hit whose indexed column disagrees
+// with the primary row read in the same transaction). Per-index
+// maintenance fails this battery in the half-updated window; the
+// one-transaction maintenance must hold it at every instant.
+void test_multi_index_consistency() {
+  Schema schema;
+  schema.columns = {"a", "b"};
+  schema.indexed_columns = {0, 1};
+  LeapTable table(schema);
+  constexpr RowId kRows = 128;
+  constexpr ColumnValue kValues = 8;
+  {
+    leap::util::Xoshiro256 rng(77);
+    for (RowId id = 1; id <= kRows; ++id) {
+      const auto v = static_cast<ColumnValue>(rng.next_below(kValues));
+      table.insert(Row{id, {v, v}});
+    }
+  }
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([&, t] {
+      leap::util::Xoshiro256 rng(500 + t);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const RowId id = 1 + rng.next_below(kRows);
+        if (rng.next_below(8) == 0) {
+          table.erase(id);
+        } else {
+          const auto v = static_cast<ColumnValue>(rng.next_below(kValues));
+          table.insert(Row{id, {v, v}});
+        }
+      }
+    });
+  }
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([&, t] {
+      leap::util::Xoshiro256 rng(600 + t);
+      std::vector<Row> by_a;
+      std::vector<Row> by_b;
+      std::vector<RowId> ids_a;
+      std::vector<RowId> ids_b;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto v = static_cast<ColumnValue>(rng.next_below(kValues));
+        leap::txn([&](stm::Tx& tx) {
+          table.scan_in(tx, 0, v, v, by_a);
+          table.scan_in(tx, 1, v, v, by_b);
+          // Scan hits must agree with the primary inside the same
+          // transaction (no stale or phantom secondary entries).
+          for (const Row& row : by_a) {
+            const auto primary = table.get_in(tx, row.id);
+            CHECK(primary.has_value());
+            CHECK(primary->values == row.values);
+          }
+        });
+        ids_a.clear();
+        ids_b.clear();
+        for (const Row& row : by_a) {
+          CHECK_EQ(row.values[0], v);
+          CHECK_EQ(row.values[1], v);  // writer invariant, atomic indexes
+          ids_a.push_back(row.id);
+        }
+        for (const Row& row : by_b) ids_b.push_back(row.id);
+        std::sort(ids_a.begin(), ids_a.end());
+        std::sort(ids_b.begin(), ids_b.end());
+        CHECK(ids_a == ids_b);  // both indexes see the same rows
+      }
+    });
+  }
+  std::this_thread::sleep_for(stress_duration());
+  stop.store(true, std::memory_order_release);
+  for (auto& thread : threads) thread.join();
+  std::printf("  multi-index consistency ok\n");
+}
+
+// Targeted regression for the old per-index maintenance: one row
+// flapping between (7,7) and (9,9) while a reader scans both indexes at
+// value 7 in one transaction. The old path updated the indexes one at a
+// time, so the reader could catch row 1 indexed under a=7 but not under
+// b=7 (or through a stale entry disagreeing with the primary).
+void test_partial_index_update_regression() {
+  Schema schema;
+  schema.columns = {"a", "b"};
+  schema.indexed_columns = {0, 1};
+  LeapTable table(schema);
+  table.insert(Row{1, {7, 7}});
+  std::atomic<bool> done{false};
+  std::thread writer([&] {
+    for (int flip = 0; flip < 3000; ++flip) {
+      const ColumnValue v = (flip & 1) != 0 ? 7 : 9;
+      table.insert(Row{1, {v, v}});
+    }
+    done.store(true, std::memory_order_release);
+  });
+  std::vector<Row> by_a;
+  std::vector<Row> by_b;
+  while (!done.load(std::memory_order_acquire)) {
+    leap::txn([&](stm::Tx& tx) {
+      table.scan_in(tx, 0, 7, 7, by_a);
+      table.scan_in(tx, 1, 7, 7, by_b);
+    });
+    CHECK_EQ(by_a.size(), by_b.size());  // both indexes or neither
+    if (!by_a.empty()) {
+      CHECK_EQ(by_a[0].values[0], 7);
+      CHECK_EQ(by_a[0].values[1], 7);
+      CHECK_EQ(by_b[0].values[0], 7);
+    }
+  }
+  writer.join();
+  std::printf("  partial-index-update regression ok\n");
+}
+
 }  // namespace
 
 int main() {
   test_functional<LeapTable>("LeapTable");
   test_functional<LockedTreeTable>("LockedTreeTable");
   test_concurrent_smoke();
+  test_multi_index_consistency();
+  test_partial_index_update_regression();
   return leap::test::finish("test_db");
 }

@@ -29,11 +29,7 @@ constexpr Key kKeyRange = 512;
 Value value_for(Key key) { return key * 3 + 1; }
 
 std::chrono::milliseconds stress_duration() {
-  if (const char* raw = std::getenv("LEAP_STRESS_MS")) {
-    const long ms = std::strtol(raw, nullptr, 10);
-    if (ms > 0) return std::chrono::milliseconds(ms);
-  }
-  return std::chrono::milliseconds(400);
+  return leap::test::stress_duration(std::chrono::milliseconds(400));
 }
 
 template <typename ListT>

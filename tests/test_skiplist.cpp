@@ -8,6 +8,7 @@
 
 #include "leaplist/skiplist.hpp"
 #include "test_common.hpp"
+#include "util/ebr.hpp"
 #include "util/random.hpp"
 #include "util/spin_barrier.hpp"
 
@@ -18,11 +19,7 @@ using leap::core::Params;
 namespace {
 
 std::chrono::milliseconds stress_duration() {
-  if (const char* raw = std::getenv("LEAP_STRESS_MS")) {
-    const long ms = std::strtol(raw, nullptr, 10);
-    if (ms > 0) return std::chrono::milliseconds(ms);
-  }
-  return std::chrono::milliseconds(300);
+  return leap::test::stress_duration(std::chrono::milliseconds(300));
 }
 
 template <typename ListT>
@@ -129,6 +126,65 @@ void test_stress(const char* name) {
   std::printf("  stress %s ok (%zu keys at rest)\n", name, all.size());
 }
 
+void test_cas_reclamation_churn() {
+  // Eager-reclamation regression: heavy insert/erase churn must retire
+  // replaced nodes promptly through EBR (the old allocation-registry
+  // scheme kept every node alive until destruction) without freeing a
+  // node a concurrent traversal can still reach — the ASan job verifies
+  // the frees, TSan the races.
+  {
+    SkipListCAS list(Params{.node_size = 300, .max_level = 8});
+    constexpr int kPairs = 50000;
+    for (int i = 0; i < kPairs; ++i) {
+      const Key key = 1 + (i % 16);
+      list.insert(key, key);
+      CHECK(list.erase(key));
+    }
+    // Single-threaded, every erase fully unlinks its node, so the EBR
+    // backlog must stay far below the churn volume.
+    CHECK(leap::util::ebr::pending_count() < 5000);
+  }
+  {
+    SkipListCAS list(Params{.node_size = 300, .max_level = 10});
+    constexpr Key kRange = 128;
+    std::atomic<bool> stop{false};
+    constexpr unsigned kChurners = 4;
+    constexpr unsigned kReaders = 2;
+    leap::util::SpinBarrier barrier(kChurners + kReaders + 1);
+    std::vector<std::thread> threads;
+    for (unsigned t = 0; t < kChurners; ++t) {
+      threads.emplace_back([&, t] {
+        leap::util::Xoshiro256 rng(900 + t);
+        barrier.arrive_and_wait();
+        while (!stop.load(std::memory_order_relaxed)) {
+          const Key key = static_cast<Key>(1 + rng.next_below(kRange));
+          list.insert(key, key * 5);
+          list.erase(key);
+        }
+      });
+    }
+    for (unsigned t = 0; t < kReaders; ++t) {
+      threads.emplace_back([&, t] {
+        leap::util::Xoshiro256 rng(950 + t);
+        std::vector<KV> out;
+        barrier.arrive_and_wait();
+        while (!stop.load(std::memory_order_relaxed)) {
+          const Key key = static_cast<Key>(1 + rng.next_below(kRange));
+          const auto value = list.get(key);
+          if (value) CHECK_EQ(*value, key * 5);
+          list.range_query(key, key + 16, out);
+          for (const KV& kv : out) CHECK_EQ(kv.value, kv.key * 5);
+        }
+      });
+    }
+    barrier.arrive_and_wait();
+    std::this_thread::sleep_for(stress_duration());
+    stop.store(true, std::memory_order_release);
+    for (auto& thread : threads) thread.join();
+  }
+  std::printf("  reclamation churn ok\n");
+}
+
 }  // namespace
 
 int main() {
@@ -136,5 +192,6 @@ int main() {
   test_functional<SkipListTM>("SkipListTM");
   test_stress<SkipListCAS>("SkipListCAS");
   test_stress<SkipListTM>("SkipListTM");
+  test_cas_reclamation_churn();
   return leap::test::finish("test_skiplist");
 }

@@ -121,6 +121,74 @@ void test_typed_fields() {
   CHECK_EQ(signed_field.load(), -15);
 }
 
+void test_deferred_actions() {
+  // Commit actions run exactly once after the committing attempt; abort
+  // actions run per aborted attempt. Force one abort by raw-storing to
+  // a field after the transaction read it (the raw store bumps the
+  // clock, so the next in-tx read sees a too-new version).
+  TxField<std::uint64_t> a;
+  TxField<std::uint64_t> b;
+  Tx& tx = tls_tx();
+  int commits = 0;
+  int aborts = 0;
+  int attempts = 0;
+  atomically(tx, [&](Tx& t) {
+    t.defer_on_commit([&] { ++commits; });
+    t.defer_on_abort([&] { ++aborts; });
+    (void)a.tx_read(t);
+    if (attempts++ == 0) b.store(1u);
+    (void)b.tx_read(t);  // first attempt: version > rv_, aborts
+    a.tx_write(t, 7u);
+  });
+  CHECK_EQ(attempts, 2);
+  CHECK_EQ(commits, 1);
+  CHECK_EQ(aborts, 1);
+  CHECK_EQ(a.load(), 7u);
+  // A failed try_atomically runs abort actions, not commit actions.
+  commits = 0;
+  aborts = 0;
+  const bool committed = try_atomically(tx, [&](Tx& t) {
+    t.defer_on_commit([&] { ++commits; });
+    t.defer_on_abort([&] { ++aborts; });
+    t.abort();
+  });
+  CHECK(!committed);
+  CHECK_EQ(commits, 0);
+  CHECK_EQ(aborts, 1);
+}
+
+void test_flat_nesting() {
+  // atomically on an already-active Tx enlists in the enclosing
+  // transaction: one commit publishes both closures' writes, and inner
+  // deferred actions run at the outer outcome.
+  TxField<std::uint64_t> a;
+  TxField<std::uint64_t> b;
+  Tx& tx = tls_tx();
+  int inner_commits = 0;
+  const std::uint64_t commits_before = tx.commits();
+  atomically(tx, [&](Tx& t) {
+    a.tx_write(t, 1u);
+    atomically(t, [&](Tx& inner) {
+      CHECK(&inner == &t);
+      CHECK(inner.in_tx());
+      inner.defer_on_commit([&] { ++inner_commits; });
+      b.tx_write(inner, a.tx_read(inner) + 1);
+    });
+    CHECK(try_atomically(t, [&](Tx& inner) { a.tx_write(inner, 5u); }));
+  });
+  CHECK_EQ(tx.commits(), commits_before + 1);  // one flat transaction
+  CHECK_EQ(inner_commits, 1);
+  CHECK_EQ(a.load(), 5u);
+  CHECK_EQ(b.load(), 2u);
+  // has_write exposes the buffered write set to composable ops.
+  atomically(tx, [&](Tx& t) {
+    CHECK(!t.has_write(a));
+    a.tx_write(t, 9u);
+    CHECK(t.has_write(a));
+    CHECK(!t.has_write(b));
+  });
+}
+
 }  // namespace
 
 int main() {
@@ -130,5 +198,7 @@ int main() {
   test_conflict_abort_and_retry();
   test_isolation_invariant();
   test_typed_fields();
+  test_deferred_actions();
+  test_flat_nesting();
   return leap::test::finish("test_stm");
 }
