@@ -23,9 +23,9 @@ std::string us(std::uint64_t nanos) {
   return out.str();
 }
 
-template <typename ListT>
+template <typename MapT>
 void add_rows(Table& table, const char* name, const WorkloadConfig& cfg) {
-  harness::LeapAdapter<ListT> adapter(cfg);
+  harness::MapAdapter<MapT> adapter(cfg);
   WorkloadConfig warmup = cfg;
   warmup.duration = leap::harness::warmup_duration(cfg.duration);
   (void)harness::run_throughput(adapter, warmup);
@@ -56,10 +56,10 @@ int main() {
       "COP/tm updates drag content-sized write sets into p99");
 
   Table table({"variant op", "p50", "p95", "p99", "p99.9", "samples"});
-  add_rows<leap::core::LeapListLT>(table, "LT", cfg);
-  add_rows<leap::core::LeapListCOP>(table, "COP", cfg);
-  add_rows<leap::core::LeapListTM>(table, "tm", cfg);
-  add_rows<leap::core::LeapListRW>(table, "rwlock", cfg);
+  add_rows<LTMap>(table, "LT", cfg);
+  add_rows<COPMap>(table, "COP", cfg);
+  add_rows<TMMap>(table, "tm", cfg);
+  add_rows<RWMap>(table, "rwlock", cfg);
   table.print(std::cout);
   return 0;
 }

@@ -1,0 +1,142 @@
+// Ablation: the typed facade's price — leap::Map<int64, int64> (codec
+// traits + visitor plumbing, all compile-time) against the raw word
+// engine called directly, on the fig16-style mixed workload.
+//
+// The facade is a zero-runtime-overhead claim: identity codecs inline
+// to casts and the visitor lowers to the same node walk, so the two
+// columns must sit within measurement noise of each other. Under
+// LEAP_BENCH_SMOKE=1 the bench doubles as a CI parity guard: a typed/raw
+// ratio below 1/LEAP_MAP_PARITY_FACTOR (default 2.0, generous for smoke
+// noise; 0 disables) fails the run.
+#include <cstdlib>
+
+#include "fig_common.hpp"
+
+using namespace leap::bench;
+
+namespace {
+
+/// Raw-engine adapter: the pre-facade calling convention (int64 words,
+/// vector-filling range_query) on the naked variant classes.
+template <typename ListT>
+class RawAdapter {
+ public:
+  explicit RawAdapter(const WorkloadConfig& cfg) : cfg_(cfg) {
+    // Same population source as MapAdapter — the parity comparison is
+    // only meaningful over identical preloads.
+    std::vector<leap::core::KV> pairs;
+    const std::vector<std::uint64_t> keys =
+        leap::harness::preload_keys(cfg_);
+    pairs.reserve(keys.size());
+    for (const std::uint64_t key : keys) {
+      pairs.push_back(leap::core::KV{static_cast<leap::core::Key>(key),
+                                     static_cast<leap::core::Value>(key)});
+    }
+    for (int i = 0; i < cfg_.lists; ++i) {
+      lists_.push_back(std::make_unique<ListT>(cfg_.params));
+      lists_.back()->bulk_load(pairs);
+    }
+  }
+
+  void op_lookup(leap::util::Xoshiro256& rng) {
+    const auto value = pick(rng).get(random_key(rng));
+    asm volatile("" : : "g"(&value) : "memory");
+  }
+
+  void op_range(leap::util::Xoshiro256& rng) {
+    const std::uint64_t span =
+        cfg_.rq_span_min +
+        rng.next_below(cfg_.rq_span_max - cfg_.rq_span_min + 1);
+    const leap::core::Key low = random_key(rng);
+    static thread_local std::vector<leap::core::KV> buf;
+    pick(rng).range_query(low, low + static_cast<leap::core::Key>(span),
+                          buf);
+  }
+
+  void op_modify(leap::util::Xoshiro256& rng) {
+    const leap::core::Key key = random_key(rng);
+    ListT& list = pick(rng);
+    if ((rng.next() & 1) != 0) {
+      list.insert(key, static_cast<leap::core::Value>(key));
+    } else {
+      list.erase(key);
+    }
+  }
+
+  void op_txn(leap::util::Xoshiro256& rng) { op_modify(rng); }
+
+ private:
+  ListT& pick(leap::util::Xoshiro256& rng) {
+    return cfg_.lists == 1
+               ? *lists_[0]
+               : *lists_[rng.next_below(static_cast<std::uint64_t>(
+                     cfg_.lists))];
+  }
+
+  leap::core::Key random_key(leap::util::Xoshiro256& rng) {
+    return static_cast<leap::core::Key>(1 + rng.next_below(cfg_.key_range));
+  }
+
+  WorkloadConfig cfg_;
+  std::vector<std::unique_ptr<ListT>> lists_;
+};
+
+double parity_factor() {
+  if (const char* raw = std::getenv("LEAP_MAP_PARITY_FACTOR")) {
+    return std::strtod(raw, nullptr);
+  }
+  return 2.0;
+}
+
+}  // namespace
+
+int main() {
+  const auto duration = leap::harness::bench_duration(
+      std::chrono::milliseconds(200));
+  const int repeats = std::max(2, leap::harness::bench_repeats(2));
+  const unsigned threads = leap::harness::thread_sweep().back();
+
+  print_figure_header(
+      std::cout, "Ablation: typed facade parity (leap::Map vs raw engine)",
+      "40/40/20 mix, 100K elements, 4 lists, max threads",
+      "codecs and visitors are compile-time: typed == raw within noise");
+
+  struct VariantRow {
+    const char* name;
+    double typed;
+    double raw;
+  };
+  WorkloadConfig cfg = paper_config();
+  cfg.mix = Mix::read_dominated();
+  cfg.threads = threads;
+  cfg.duration = duration;
+
+  const VariantRow rows[] = {
+      {"LT",
+       harness::run_workload<MapAdapter<LTMap>>(cfg, repeats).ops_per_sec,
+       harness::run_workload<RawAdapter<leap::core::LeapListLT>>(cfg, repeats)
+           .ops_per_sec},
+      {"tm",
+       harness::run_workload<MapAdapter<TMMap>>(cfg, repeats).ops_per_sec,
+       harness::run_workload<RawAdapter<leap::core::LeapListTM>>(cfg, repeats)
+           .ops_per_sec},
+  };
+
+  Table table({"variant", "typed Map", "raw engine", "typed/raw"});
+  bool parity_ok = true;
+  const double factor = parity_factor();
+  for (const VariantRow& row : rows) {
+    const double ratio = row.typed / std::max(row.raw, 1.0);
+    table.add_row({row.name, Table::format_ops(row.typed),
+                   Table::format_ops(row.raw), Table::format_ratio(ratio)});
+    if (factor > 0 && ratio * factor < 1.0) parity_ok = false;
+  }
+  table.print(std::cout);
+
+  if (leap::harness::smoke_mode() && !parity_ok) {
+    std::cerr << "PARITY GUARD: typed facade fell more than " << factor
+              << "x below the raw engine\n";
+    return 1;
+  }
+  return 0;
+}

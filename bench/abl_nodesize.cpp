@@ -33,19 +33,13 @@ int main() {
 
     cfg.mix = Mix::modify_only();
     const double modify =
-        harness::run_workload<LeapAdapter<leap::core::LeapListLT>>(cfg,
-                                                                   repeats)
-            .ops_per_sec;
+        harness::run_workload<MapAdapter<LTMap>>(cfg, repeats).ops_per_sec;
     cfg.mix = Mix::range_only();
     const double range =
-        harness::run_workload<LeapAdapter<leap::core::LeapListLT>>(cfg,
-                                                                   repeats)
-            .ops_per_sec;
+        harness::run_workload<MapAdapter<LTMap>>(cfg, repeats).ops_per_sec;
     cfg.mix = Mix::read_dominated();
     const double mixed =
-        harness::run_workload<LeapAdapter<leap::core::LeapListLT>>(cfg,
-                                                                   repeats)
-            .ops_per_sec;
+        harness::run_workload<MapAdapter<LTMap>>(cfg, repeats).ops_per_sec;
 
     const std::size_t nodes =
         cfg.initial_size / std::max<std::size_t>(1, node_size / 2);

@@ -42,17 +42,11 @@ int main() {
       cfg.duration = duration;
 
       const double tm =
-          harness::run_workload<LeapAdapter<leap::core::LeapListTM>>(cfg,
-                                                                     repeats)
-              .ops_per_sec;
+          harness::run_workload<MapAdapter<TMMap>>(cfg, repeats).ops_per_sec;
       const double lt =
-          harness::run_workload<LeapAdapter<leap::core::LeapListLT>>(cfg,
-                                                                     repeats)
-              .ops_per_sec;
+          harness::run_workload<MapAdapter<LTMap>>(cfg, repeats).ops_per_sec;
       const double cop =
-          harness::run_workload<LeapAdapter<leap::core::LeapListCOP>>(cfg,
-                                                                      repeats)
-              .ops_per_sec;
+          harness::run_workload<MapAdapter<COPMap>>(cfg, repeats).ops_per_sec;
       table.add_row({std::to_string(threads), Table::format_ops(tm),
                      Table::format_ops(lt), Table::format_ops(cop),
                      Table::format_ratio(tm / std::max(lt, 1.0))});

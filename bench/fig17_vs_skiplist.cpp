@@ -70,16 +70,12 @@ int main() {
       skip_cfg.params.max_level = 20;
 
       const double lt =
-          harness::run_workload<LeapAdapter<leap::core::LeapListLT>>(cfg,
-                                                                     repeats)
-              .ops_per_sec;
+          harness::run_workload<MapAdapter<LTMap>>(cfg, repeats).ops_per_sec;
       const double cas =
-          harness::run_workload<SkipAdapter<leap::skip::SkipListCAS>>(
-              skip_cfg, repeats)
+          harness::run_workload<MapAdapter<SkipCASMap>>(skip_cfg, repeats)
               .ops_per_sec;
       const double tm =
-          harness::run_workload<SkipAdapter<leap::skip::SkipListTM>>(skip_cfg,
-                                                                     repeats)
+          harness::run_workload<MapAdapter<SkipTMMap>>(skip_cfg, repeats)
               .ops_per_sec;
       table.add_row({std::to_string(threads), Table::format_ops(lt),
                      Table::format_ops(cas), Table::format_ops(tm),

@@ -11,13 +11,24 @@
 
 namespace leap::bench {
 
-using harness::LeapAdapter;
+using harness::MapAdapter;
 using harness::Mix;
 using harness::print_figure_header;
-using harness::SkipAdapter;
 using harness::Table;
 using harness::ThroughputResult;
 using harness::WorkloadConfig;
+
+/// The benches drive every structure through the typed facade: one
+/// int64 -> int64 leap::Map per policy (identity codecs, so this is
+/// the raw engine plus an inlined cast).
+using LTMap = leap::Map<std::int64_t, std::int64_t, leap::policy::LT>;
+using COPMap = leap::Map<std::int64_t, std::int64_t, leap::policy::COP>;
+using TMMap = leap::Map<std::int64_t, std::int64_t, leap::policy::TM>;
+using RWMap = leap::Map<std::int64_t, std::int64_t, leap::policy::RW>;
+using SkipCASMap =
+    leap::Map<std::int64_t, std::int64_t, leap::policy::SkipCAS>;
+using SkipTMMap =
+    leap::Map<std::int64_t, std::int64_t, leap::policy::SkipTM>;
 
 /// Results for the four Leap-List variants on one configuration, in the
 /// paper's order: LT, COP, tm, rwlock.
@@ -30,18 +41,12 @@ struct LeapRow {
 
 inline LeapRow measure_leap_row(const WorkloadConfig& cfg, int repeats) {
   LeapRow row;
-  row.lt =
-      harness::run_workload<LeapAdapter<core::LeapListLT>>(cfg, repeats)
-          .ops_per_sec;
+  row.lt = harness::run_workload<MapAdapter<LTMap>>(cfg, repeats).ops_per_sec;
   row.cop =
-      harness::run_workload<LeapAdapter<core::LeapListCOP>>(cfg, repeats)
-          .ops_per_sec;
-  row.tm =
-      harness::run_workload<LeapAdapter<core::LeapListTM>>(cfg, repeats)
-          .ops_per_sec;
+      harness::run_workload<MapAdapter<COPMap>>(cfg, repeats).ops_per_sec;
+  row.tm = harness::run_workload<MapAdapter<TMMap>>(cfg, repeats).ops_per_sec;
   row.rwlock =
-      harness::run_workload<LeapAdapter<core::LeapListRW>>(cfg, repeats)
-          .ops_per_sec;
+      harness::run_workload<MapAdapter<RWMap>>(cfg, repeats).ops_per_sec;
   return row;
 }
 

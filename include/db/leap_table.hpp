@@ -1,14 +1,15 @@
 // LeapTable: an in-memory table whose primary and secondary indexes are
-// composable leap lists — the paper's §4 pitch realized with its
-// headline API. Row storage is immutable: every insert allocates a
-// fresh row on an allocation registry (freed at table destruction), so
-// concurrent scans can dereference index words without any per-row
-// reclamation protocol.
+// composable typed maps (leap::Map over the TM leap-list policy) — the
+// paper's §4 pitch realized with its headline API. Row storage is
+// immutable: every insert allocates a fresh row on an allocation
+// registry (freed at table destruction), so concurrent scans can
+// dereference index values without any per-row reclamation protocol.
 //
-// Secondary index keys pack (column value, row id) into one core::Key
-// so duplicate column values stay distinct; index values are pointers
-// packed into core::Value words, and scans decode rows straight from
-// the index. Index maintenance is ONE transaction per row operation
+// Secondary index keys are codec::PackedPair<ColumnValue, RowId>, the
+// (column value, row id) packing expressed as an order-preserving key
+// codec, so duplicate column values stay distinct; index values are
+// typed row pointers, and scans decode rows straight from the index
+// visitation. Index maintenance is ONE transaction per row operation
 // (leap::txn over the primary plus every secondary), so no concurrent
 // reader can observe a row through a stale or phantom secondary entry:
 // a multi-index read transaction (get_in/scan_in under leap::txn) sees
@@ -23,23 +24,33 @@
 #include <vector>
 
 #include "db/schema.hpp"
-#include "leaplist/leaplist.hpp"
+#include "leaplist/codec.hpp"
+#include "leaplist/map.hpp"
 #include "leaplist/txn.hpp"
 
 namespace leap::db {
 
 class LeapTable {
+  struct Stored {
+    Row row;
+    Stored* alloc_next;
+  };
+
  public:
   /// Row ids must fit kIdBits so (value, id) packs into a signed word.
   static constexpr int kIdBits = 24;
 
+  using IndexKey = codec::PackedPair<ColumnValue, RowId, kIdBits>;
+  using PrimaryIndex = leap::Map<RowId, const Stored*, policy::TM>;
+  using SecondaryIndex = leap::Map<IndexKey, const Stored*, policy::TM>;
+
   explicit LeapTable(Schema schema)
       : schema_(std::move(schema)),
-        primary_(std::make_unique<core::LeapListTM>(index_params())) {
+        primary_(std::make_unique<PrimaryIndex>(index_params())) {
     for (std::size_t c : schema_.indexed_columns) {
       (void)c;
       secondary_.push_back(
-          std::make_unique<core::LeapListTM>(index_params()));
+          std::make_unique<SecondaryIndex>(index_params()));
     }
   }
 
@@ -61,26 +72,18 @@ class LeapTable {
   bool insert(const Row& row) {
     assert(row.values.size() == schema_.columns.size());
     assert(row.id < (RowId{1} << kIdBits));
-#ifndef NDEBUG
-    // Indexed values must survive the (value << kIdBits) packing.
-    for (const std::size_t c : schema_.indexed_columns) {
-      assert(row.values[c] >= -(ColumnValue{1} << (62 - kIdBits)) &&
-             row.values[c] < (ColumnValue{1} << (62 - kIdBits)));
-    }
-#endif
     Stored* stored = new Stored{row, nullptr};
     Stored* head = all_rows_.load(std::memory_order_relaxed);
     do {
       stored->alloc_next = head;
     } while (!all_rows_.compare_exchange_weak(head, stored,
                                               std::memory_order_acq_rel));
-    const core::Value word = to_word(stored);
     leap::txn([&](stm::Tx& tx) {
       erase_in(tx, row.id);
-      primary_->insert_in(tx, static_cast<core::Key>(row.id), word);
+      primary_->insert_in(tx, row.id, stored);
       for (std::size_t i = 0; i < schema_.indexed_columns.size(); ++i) {
         const ColumnValue value = row.values[schema_.indexed_columns[i]];
-        secondary_[i]->insert_in(tx, composite_key(value, row.id), word);
+        secondary_[i]->insert_in(tx, IndexKey{value, row.id}, stored);
       }
     });
     return true;
@@ -91,13 +94,13 @@ class LeapTable {
   }
 
   std::optional<Row> get(RowId id) const {
-    const auto word = primary_->get(static_cast<core::Key>(id));
-    if (!word) return std::nullopt;
-    return to_row(*word)->row;
+    const auto stored = primary_->get(id);
+    if (!stored) return std::nullopt;
+    return (*stored)->row;
   }
 
   /// All rows whose `column` value lies in [low, high]. `column` is an
-  /// ordinal into Schema::indexed_columns.
+  /// ordinal into Schema::indexed_columns. REPLACES `out`.
   void scan(std::size_t column, ColumnValue low, ColumnValue high,
             std::vector<Row>& out) const {
     leap::txn([&](stm::Tx& tx) { scan_in(tx, column, low, high, out); });
@@ -108,65 +111,52 @@ class LeapTable {
   // or several tables — as one atomic unit.
 
   bool erase_in(stm::Tx& tx, RowId id) {
-    const auto word = primary_->get_in(tx, static_cast<core::Key>(id));
-    if (!word) return false;
-    primary_->erase_in(tx, static_cast<core::Key>(id));
-    const Stored* stored = to_row(*word);
+    const auto stored = primary_->get_in(tx, id);
+    if (!stored) return false;
+    primary_->erase_in(tx, id);
     for (std::size_t i = 0; i < schema_.indexed_columns.size(); ++i) {
       const ColumnValue value =
-          stored->row.values[schema_.indexed_columns[i]];
-      secondary_[i]->erase_in(tx, composite_key(value, id));
+          (*stored)->row.values[schema_.indexed_columns[i]];
+      secondary_[i]->erase_in(tx, IndexKey{value, id});
     }
     return true;
   }
 
   std::optional<Row> get_in(stm::Tx& tx, RowId id) const {
-    const auto word = primary_->get_in(tx, static_cast<core::Key>(id));
-    if (!word) return std::nullopt;
-    return to_row(*word)->row;
+    const auto stored = primary_->get_in(tx, id);
+    if (!stored) return std::nullopt;
+    return (*stored)->row;
   }
 
+  /// Rows decode straight off the index visitation — no intermediate
+  /// KV buffer. REPLACES `out`; the visitor's restart hook keeps the
+  /// output exact across hybrid-search fallbacks mid-transaction.
   void scan_in(stm::Tx& tx, std::size_t column, ColumnValue low,
                ColumnValue high, std::vector<Row>& out) const {
     out.clear();
-    std::vector<core::KV> hits;
-    secondary_[column]->range_in(
-        tx, composite_key(low, 0),
-        composite_key(high, (RowId{1} << kIdBits) - 1), hits);
-    out.reserve(hits.size());
-    for (const core::KV& kv : hits) out.push_back(to_row(kv.value)->row);
+    struct RowAppend {
+      std::vector<Row>& out;
+      std::size_t base;
+      void operator()(const IndexKey&, const Stored* stored) {
+        out.push_back(stored->row);
+      }
+      void on_restart() { out.resize(base); }
+    } sink{out, out.size()};
+    secondary_[column]->for_range_in(
+        tx, IndexKey{low, 0},
+        IndexKey{high, (RowId{1} << kIdBits) - 1}, sink);
   }
 
  private:
-  struct Stored {
-    Row row;
-    Stored* alloc_next;
-  };
-
   static core::Params index_params() {
     // Smaller nodes than the paper's K=300: table updates copy nodes on
     // every index maintenance op, so cheaper copies win here.
     return core::Params{.node_size = 64, .max_level = 12};
   }
 
-  static core::Key composite_key(ColumnValue value, RowId id) {
-    return (static_cast<core::Key>(value) << kIdBits) |
-           static_cast<core::Key>(id);
-  }
-
-  static const Stored* to_row(core::Value word) {
-    return reinterpret_cast<const Stored*>(
-        static_cast<std::uintptr_t>(word));
-  }
-
-  static core::Value to_word(const Stored* stored) {
-    return static_cast<core::Value>(
-        reinterpret_cast<std::uintptr_t>(stored));
-  }
-
   Schema schema_;
-  std::unique_ptr<core::LeapListTM> primary_;
-  std::vector<std::unique_ptr<core::LeapListTM>> secondary_;
+  std::unique_ptr<PrimaryIndex> primary_;
+  std::vector<std::unique_ptr<SecondaryIndex>> secondary_;
   std::atomic<Stored*> all_rows_{nullptr};
 };
 

@@ -1,18 +1,25 @@
-// Adapters presenting leap lists and skip lists to the driver through
-// one operation interface: construct-and-preload from a WorkloadConfig,
-// then op_lookup / op_range / op_modify / op_txn. A workload over L
-// lists picks a list uniformly per operation (the paper's multi-list
-// setup); op_txn draws TWO lists and runs a cross-list move or a
-// two-list range snapshot — as one leap::txn on composable lists
-// (LeapListTM), or as independent single-list ops on the rest (the
+// Adapter presenting any leap::OrderedMap (the typed leap::Map facade
+// over every leap-list policy and both skip-list baselines) to the
+// driver through one operation interface: construct-and-preload from a
+// WorkloadConfig, then op_lookup / op_range / op_modify / op_txn. A
+// workload over L maps picks one uniformly per operation (the paper's
+// multi-list setup); op_txn draws TWO maps and runs a cross-map move or
+// a two-map range snapshot — as one leap::txn on composable maps
+// (policy::TM), or as independent single-map ops on the rest (the
 // non-atomic baseline abl_txn contrasts).
+//
+// Range results accumulate through leap::append_to into a per-thread
+// scratch buffer: append is explicit in the visitor API, so a two-map
+// snapshot stacks both ranges into ONE buffer inside one transaction
+// (the old replace-semantics range_query needed a second buffer here).
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
 #include "harness/workload.hpp"
-#include "leaplist/leaplist.hpp"
+#include "leaplist/map.hpp"
 #include "leaplist/skiplist.hpp"
 #include "leaplist/txn.hpp"
 #include "stm/stm.hpp"
@@ -20,30 +27,36 @@
 
 namespace leap::harness {
 
-template <typename ListT>
-class ListAdapterBase {
+template <typename MapT>
+  requires OrderedMap<MapT>
+class MapAdapter {
  public:
-  using List = ListT;
+  using Map = MapT;
+  using K = typename MapT::key_type;
+  using V = typename MapT::mapped_type;
+  using Entry = typename MapT::value_type;
+  static_assert(std::is_integral_v<K> && std::is_integral_v<V>,
+                "the harness draws integral keys/values");
 
-  explicit ListAdapterBase(const WorkloadConfig& cfg) : cfg_(cfg) {
-    std::vector<core::KV> pairs;
-    pairs.reserve(cfg_.initial_size);
-    // Evenly spread distinct keys across [1, key_range]; jitter-free so
-    // every variant preloads the identical population.
-    const std::uint64_t range = std::max<std::uint64_t>(cfg_.key_range, 1);
-    for (std::size_t j = 0; j < cfg_.initial_size; ++j) {
-      const std::uint64_t key =
-          1 + (j * range) / std::max<std::size_t>(cfg_.initial_size, 1);
-      if (!pairs.empty() &&
-          pairs.back().key == static_cast<core::Key>(key)) {
-        continue;
-      }
-      pairs.push_back(core::KV{static_cast<core::Key>(key),
-                               static_cast<core::Value>(key)});
+  /// True when MapT exposes the composable `*_in` forms (policy::TM).
+  static constexpr bool kComposable =
+      requires(MapT map, stm::Tx& tx, const K& k, const V& v) {
+        map.insert_in(tx, k, v);
+        map.erase_in(tx, k);
+        map.get_in(tx, k);
+        map.for_range_in(tx, k, k, [](const K&, const V&) {});
+      };
+
+  explicit MapAdapter(const WorkloadConfig& cfg) : cfg_(cfg) {
+    std::vector<Entry> pairs;
+    const std::vector<std::uint64_t> keys = preload_keys(cfg_);
+    pairs.reserve(keys.size());
+    for (const std::uint64_t key : keys) {
+      pairs.push_back(Entry{static_cast<K>(key), static_cast<V>(key)});
     }
     for (int i = 0; i < cfg_.lists; ++i) {
-      lists_.push_back(std::make_unique<ListT>(cfg_.params));
-      lists_.back()->bulk_load(pairs);
+      maps_.push_back(std::make_unique<MapT>(cfg_.params));
+      maps_.back()->bulk_load(pairs);
     }
   }
 
@@ -52,38 +65,32 @@ class ListAdapterBase {
     asm volatile("" : : "g"(&value) : "memory");
   }
 
-  void op_range(util::Xoshiro256& rng, std::vector<core::KV>& buf) {
+  void op_range(util::Xoshiro256& rng) {
     const std::uint64_t span =
         cfg_.rq_span_min +
         rng.next_below(cfg_.rq_span_max - cfg_.rq_span_min + 1);
-    const core::Key low = random_key(rng);
-    pick(rng).range_query(low, low + static_cast<core::Key>(span), buf);
+    const K low = random_key(rng);
+    auto& buf = scratch();
+    buf.clear();
+    pick(rng).for_range(low, static_cast<K>(low + span),
+                        leap::append_to(buf));
   }
 
   void op_modify(util::Xoshiro256& rng) {
-    const core::Key key = random_key(rng);
-    ListT& list = pick(rng);
+    const K key = random_key(rng);
+    MapT& map = pick(rng);
     if ((rng.next() & 1) != 0) {
-      list.insert(key, static_cast<core::Value>(key));
+      map.insert(key, static_cast<V>(key));
     } else {
-      list.erase(key);
+      map.erase(key);
     }
   }
 
-  /// True when ListT exposes the composable `*_in` forms (LeapListTM).
-  static constexpr bool kComposable =
-      requires(ListT list, stm::Tx& tx, std::vector<core::KV>& out) {
-        list.insert_in(tx, core::Key{}, core::Value{});
-        list.erase_in(tx, core::Key{});
-        list.get_in(tx, core::Key{});
-        list.range_in(tx, core::Key{}, core::Key{}, out);
-      };
-
-  /// Multi-list transaction (Mix::txn_pct): half the draws atomically
-  /// move a key between two lists, half take a two-list range snapshot.
+  /// Multi-map transaction (Mix::txn_pct): half the draws atomically
+  /// move a key between two maps, half take a two-map range snapshot.
   /// dst is drawn distinct from src whenever the workload has more than
-  /// one list, so the op measures genuinely cross-list work.
-  void op_txn(util::Xoshiro256& rng, std::vector<core::KV>& buf) {
+  /// one map, so the op measures genuinely cross-map work.
+  void op_txn(util::Xoshiro256& rng) {
     const int src_index =
         cfg_.lists == 1
             ? 0
@@ -96,10 +103,10 @@ class ListAdapterBase {
                                 rng.next_below(static_cast<std::uint64_t>(
                                     cfg_.lists - 1))) %
                                cfg_.lists);
-    ListT& src = *lists_[src_index];
-    ListT& dst = *lists_[dst_index];
+    MapT& src = *maps_[src_index];
+    MapT& dst = *maps_[dst_index];
     if ((rng.next() & 1) != 0) {
-      const core::Key key = random_key(rng);
+      const K key = random_key(rng);
       if constexpr (kComposable) {
         leap::txn([&](stm::Tx& tx) {
           const auto value = src.get_in(tx, key);
@@ -117,52 +124,45 @@ class ListAdapterBase {
       const std::uint64_t span =
           cfg_.rq_span_min +
           rng.next_below(cfg_.rq_span_max - cfg_.rq_span_min + 1);
-      const core::Key low = random_key(rng);
-      const core::Key high = low + static_cast<core::Key>(span);
-      // range_in/range_query clear their output, so the second list
-      // needs its own buffer for the snapshot to materialize.
-      static thread_local std::vector<core::KV> second;
+      const K low = random_key(rng);
+      const K high = static_cast<K>(low + span);
+      auto& buf = scratch();
+      buf.clear();
       if constexpr (kComposable) {
         leap::txn([&](stm::Tx& tx) {
-          src.range_in(tx, low, high, buf);
-          dst.range_in(tx, low, high, second);
+          buf.clear();  // the closure may re-run after a conflict
+          src.for_range_in(tx, low, high, leap::append_to(buf));
+          dst.for_range_in(tx, low, high, leap::append_to(buf));
         });
       } else {
-        src.range_query(low, high, buf);
-        dst.range_query(low, high, second);
+        src.for_range(low, high, leap::append_to(buf));
+        dst.for_range(low, high, leap::append_to(buf));
       }
     }
   }
 
   const WorkloadConfig& config() const { return cfg_; }
-  ListT& list(int index) { return *lists_[index]; }
+  MapT& map(int index) { return *maps_[index]; }
 
  private:
-  ListT& pick(util::Xoshiro256& rng) {
+  static std::vector<Entry>& scratch() {
+    static thread_local std::vector<Entry> buf;
+    return buf;
+  }
+
+  MapT& pick(util::Xoshiro256& rng) {
     return cfg_.lists == 1
-               ? *lists_[0]
-               : *lists_[rng.next_below(static_cast<std::uint64_t>(
+               ? *maps_[0]
+               : *maps_[rng.next_below(static_cast<std::uint64_t>(
                      cfg_.lists))];
   }
 
-  core::Key random_key(util::Xoshiro256& rng) {
-    return static_cast<core::Key>(1 + rng.next_below(cfg_.key_range));
+  K random_key(util::Xoshiro256& rng) {
+    return static_cast<K>(1 + rng.next_below(cfg_.key_range));
   }
 
   WorkloadConfig cfg_;
-  std::vector<std::unique_ptr<ListT>> lists_;
-};
-
-template <typename LeapListT>
-class LeapAdapter : public ListAdapterBase<LeapListT> {
- public:
-  using ListAdapterBase<LeapListT>::ListAdapterBase;
-};
-
-template <typename SkipListT>
-class SkipAdapter : public ListAdapterBase<SkipListT> {
- public:
-  using ListAdapterBase<SkipListT>::ListAdapterBase;
+  std::vector<std::unique_ptr<MapT>> maps_;
 };
 
 }  // namespace leap::harness

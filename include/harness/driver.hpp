@@ -83,23 +83,24 @@ struct LatencyResult {
 
 namespace detail {
 
-/// One operation drawn from the mix; returns which kind ran.
+/// One operation drawn from the mix; returns which kind ran. Adapters
+/// own their scratch buffers (per-thread), so the driver stays agnostic
+/// of the adapter's typed entry layout.
 enum class OpKind { kLookup, kRange, kModify, kTxn };
 
 template <typename Adapter>
-OpKind run_one(Adapter& adapter, const Mix& mix, util::Xoshiro256& rng,
-               std::vector<core::KV>& buf) {
+OpKind run_one(Adapter& adapter, const Mix& mix, util::Xoshiro256& rng) {
   const int dial = static_cast<int>(rng.next_below(100));
   if (dial < mix.lookup_pct) {
     adapter.op_lookup(rng);
     return OpKind::kLookup;
   }
   if (dial < mix.lookup_pct + mix.range_pct) {
-    adapter.op_range(rng, buf);
+    adapter.op_range(rng);
     return OpKind::kRange;
   }
   if (dial < mix.lookup_pct + mix.range_pct + mix.txn_pct) {
-    adapter.op_txn(rng, buf);
+    adapter.op_txn(rng);
     return OpKind::kTxn;
   }
   adapter.op_modify(rng);
@@ -119,11 +120,10 @@ ThroughputResult run_throughput(Adapter& adapter, const WorkloadConfig& cfg) {
   for (unsigned t = 0; t < threads; ++t) {
     workers.emplace_back([&, t] {
       util::Xoshiro256 rng(0xbeef0000 + t);
-      std::vector<core::KV> buf;
       std::uint64_t local = 0;
       barrier.arrive_and_wait();
       while (!stop.load(std::memory_order_relaxed)) {
-        detail::run_one(adapter, cfg.mix, rng, buf);
+        detail::run_one(adapter, cfg.mix, rng);
         ++local;
       }
       ops[t] = local;
@@ -155,13 +155,12 @@ LatencyResult run_latency(Adapter& adapter, const WorkloadConfig& cfg) {
   for (unsigned t = 0; t < threads; ++t) {
     workers.emplace_back([&, t] {
       util::Xoshiro256 rng(0xfeed0000 + t);
-      std::vector<core::KV> buf;
       LatencyResult& local = results[t];
       barrier.arrive_and_wait();
       while (!stop.load(std::memory_order_relaxed)) {
         const auto begin = std::chrono::steady_clock::now();
         const detail::OpKind kind =
-            detail::run_one(adapter, cfg.mix, rng, buf);
+            detail::run_one(adapter, cfg.mix, rng);
         const auto nanos = static_cast<std::uint64_t>(
             std::chrono::duration_cast<std::chrono::nanoseconds>(
                 std::chrono::steady_clock::now() - begin)

@@ -2,6 +2,7 @@
 // that let CI shrink every bench to a smoke run (LEAP_BENCH_SMOKE=1).
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <vector>
@@ -45,6 +46,23 @@ struct WorkloadConfig {
   unsigned threads = 1;
   std::chrono::milliseconds duration{200};
 };
+
+/// The preload population every adapter shares: distinct keys spread
+/// evenly across [1, key_range], jitter-free, so typed facades and raw
+/// engines measure over the identical data (abl_map's parity guard
+/// depends on this being the single source of truth).
+inline std::vector<std::uint64_t> preload_keys(const WorkloadConfig& cfg) {
+  std::vector<std::uint64_t> keys;
+  keys.reserve(cfg.initial_size);
+  const std::uint64_t range = std::max<std::uint64_t>(cfg.key_range, 1);
+  for (std::size_t j = 0; j < cfg.initial_size; ++j) {
+    const std::uint64_t key =
+        1 + (j * range) / std::max<std::size_t>(cfg.initial_size, 1);
+    if (!keys.empty() && keys.back() == key) continue;
+    keys.push_back(key);
+  }
+  return keys;
+}
 
 /// True when LEAP_BENCH_SMOKE is set: every bench shrinks to seconds.
 bool smoke_mode();

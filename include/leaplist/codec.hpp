@@ -1,0 +1,175 @@
+// Codec traits for leap::Map (leaplist/map.hpp): order-preserving
+// mappings between user key types and the engine's core::Key word, and
+// bit-exact mappings between user value types and core::Value.
+//
+// A key codec must be an order-preserving bijection onto the engine's
+// legal key window (core::Key strictly between the head sentinel,
+// INT64_MIN, and the tail sentinel, INT64_MAX): k1 < k2 iff
+// encode(k1) < encode(k2), and decode(encode(k)) == k. Value codecs
+// carry no ordering obligation — any trivially copyable type up to one
+// word round-trips by bit copy. Both are pure compile-time traits, so
+// the typed facade compiles down to the raw word engine with zero
+// runtime overhead.
+//
+// User-supplied codecs plug in through the KeyCodecFor / ValueCodecFor
+// concepts; Default<K> picks the built-in for integral and packed-pair
+// keys.
+#pragma once
+
+#include <cassert>
+#include <concepts>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <type_traits>
+
+#include "leaplist/leaplist.hpp"
+
+namespace leap::codec {
+
+/// Always-on window check (NOT an assert: a key encoding onto a
+/// sentinel word silently corrupts node ordering, so Release builds
+/// must fail just as loudly). Only the two extreme representable
+/// values of a 64-bit key type can trip it.
+inline void require_in_window(core::Key word, const char* codec) {
+  if (word == std::numeric_limits<core::Key>::min() ||
+      word == core::kSentinelKey) {
+    std::fprintf(stderr,
+                 "leap::codec: %s key encodes onto an engine sentinel "
+                 "word (the two extreme 64-bit values are reserved)\n",
+                 codec);
+    std::abort();
+  }
+}
+
+/// An order-preserving key codec for K: encode into the engine's word
+/// order, decode back exactly.
+template <typename C, typename K>
+concept KeyCodecFor = requires(const K& key, core::Key word) {
+  { C::encode(key) } -> std::same_as<core::Key>;
+  { C::decode(word) } -> std::same_as<K>;
+};
+
+/// A value codec for V: any bijection onto core::Value words.
+template <typename C, typename V>
+concept ValueCodecFor = requires(const V& value, core::Value word) {
+  { C::encode(value) } -> std::same_as<core::Value>;
+  { C::decode(word) } -> std::same_as<V>;
+};
+
+/// Signed integral keys: a value-preserving widen (so the encoded word
+/// reads naturally in debuggers). For 64-bit K the engine's sentinel
+/// window excludes INT64_MIN and INT64_MAX; narrower types always fit.
+template <std::signed_integral K>
+struct SignedKey {
+  static core::Key encode(K key) {
+    const auto word = static_cast<core::Key>(key);
+    if constexpr (sizeof(K) == sizeof(core::Key)) {
+      require_in_window(word, "SignedKey<int64>");
+    }
+    return word;
+  }
+  static K decode(core::Key word) { return static_cast<K>(word); }
+};
+
+/// Unsigned integral keys. Narrow types widen in place (non-negative,
+/// order trivially preserved). uint64_t wrap-adds a bias of 2^63 + 1 so
+/// 0 lands just above the head sentinel and order is preserved across
+/// the signed midpoint; the top two values (2^64 - 2 and 2^64 - 1)
+/// would land on the sentinels and are rejected loudly.
+template <std::unsigned_integral K>
+struct UnsignedKey {
+  static core::Key encode(K key) {
+    if constexpr (sizeof(K) == sizeof(core::Key)) {
+      const auto word =
+          static_cast<core::Key>(static_cast<std::uint64_t>(key) + kBias);
+      require_in_window(word, "UnsignedKey<uint64>");
+      return word;
+    } else {
+      return static_cast<core::Key>(key);
+    }
+  }
+  static K decode(core::Key word) {
+    if constexpr (sizeof(K) == sizeof(core::Key)) {
+      return static_cast<K>(static_cast<std::uint64_t>(word) - kBias);
+    } else {
+      return static_cast<K>(word);
+    }
+  }
+
+ private:
+  static constexpr std::uint64_t kBias = (std::uint64_t{1} << 63) + 1;
+};
+
+/// A two-component key ordered by (hi, lo) and packed into one word
+/// with `lo` in the low kLoBits — the LeapTable secondary-index shape,
+/// where duplicate column values stay distinct by row id.
+template <std::signed_integral Hi, std::unsigned_integral Lo, int kLoBits>
+struct PackedPair {
+  static_assert(kLoBits > 0 && kLoBits < 62);
+  Hi hi{};
+  Lo lo{};
+  friend constexpr auto operator<=>(const PackedPair&,
+                                    const PackedPair&) = default;
+};
+
+template <std::signed_integral Hi, std::unsigned_integral Lo, int kLoBits>
+struct PackedPairKey {
+  using pair_type = PackedPair<Hi, Lo, kLoBits>;
+
+  /// lo must fit kLoBits; hi must fit the remaining signed bits with a
+  /// sentinel-safety margin (|hi| < 2^(62 - kLoBits)), so the packed
+  /// word is hi * 2^kLoBits + lo — monotone in (hi, lo).
+  static core::Key encode(const pair_type& pair) {
+    assert(static_cast<std::uint64_t>(pair.lo) <
+           (std::uint64_t{1} << kLoBits));
+    assert(static_cast<core::Key>(pair.hi) >=
+               -(core::Key{1} << (62 - kLoBits)) &&
+           static_cast<core::Key>(pair.hi) <
+               (core::Key{1} << (62 - kLoBits)));
+    return (static_cast<core::Key>(pair.hi) << kLoBits) |
+           static_cast<core::Key>(pair.lo);
+  }
+  static pair_type decode(core::Key word) {
+    return pair_type{
+        static_cast<Hi>(word >> kLoBits),
+        static_cast<Lo>(word & ((core::Key{1} << kLoBits) - 1))};
+  }
+};
+
+/// Default value codec: bit copy of any trivially copyable type that
+/// fits one word (integrals, floats, pointers, small PODs).
+template <typename V>
+  requires(std::is_trivially_copyable_v<V> &&
+           sizeof(V) <= sizeof(core::Value))
+struct BitcastValue {
+  static core::Value encode(const V& value) {
+    core::Value word = 0;
+    std::memcpy(&word, &value, sizeof(V));
+    return word;
+  }
+  static V decode(core::Value word) {
+    V value;
+    std::memcpy(&value, &word, sizeof(V));
+    return value;
+  }
+};
+
+/// Built-in key codec selection; specialize (or pass a codec type to
+/// leap::Map explicitly) for user-defined key types.
+template <typename K>
+struct Default;
+
+template <std::signed_integral K>
+struct Default<K> : SignedKey<K> {};
+
+template <std::unsigned_integral K>
+struct Default<K> : UnsignedKey<K> {};
+
+template <std::signed_integral Hi, std::unsigned_integral Lo, int kLoBits>
+struct Default<PackedPair<Hi, Lo, kLoBits>>
+    : PackedPairKey<Hi, Lo, kLoBits> {};
+
+}  // namespace leap::codec

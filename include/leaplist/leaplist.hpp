@@ -38,6 +38,7 @@
 #include <mutex>
 #include <optional>
 #include <shared_mutex>
+#include <type_traits>
 #include <vector>
 
 #include "leaplist/txn.hpp"
@@ -55,6 +56,55 @@ struct KV {
   Key key;
   Value value;
 };
+
+namespace detail {
+
+/// Invoke a range visitor on one pair. A visitor returning void scans
+/// to the end of the range; a bool-returning visitor stops the scan by
+/// returning false.
+template <typename F, typename KT, typename VT>
+bool visit_one(F& fn, const KT& key, const VT& value) {
+  if constexpr (std::is_void_v<decltype(fn(key, value))>) {
+    fn(key, value);
+    return true;
+  } else {
+    return static_cast<bool>(fn(key, value));
+  }
+}
+
+/// Range visitation is speculative: an attempt that fails validation
+/// re-visits from the low bound. A visitor that accumulates state may
+/// expose an `on_restart()` member to roll that state back; visitors
+/// without one are assumed stateless (count-only, early-exit probes).
+template <typename F>
+void visit_restart(F& fn) {
+  if constexpr (requires { fn.on_restart(); }) fn.on_restart();
+}
+
+/// The canonical accumulating visitor: pairs APPEND to `out` (never
+/// cleared), and on_restart truncates back to the size at construction,
+/// so several appenders can stack ranges into one buffer inside one
+/// transaction. Works for any vector whose value_type brace-constructs
+/// from {key, value} (core::KV, std::pair, typed map entries).
+template <typename Vec>
+class Appender {
+ public:
+  explicit Appender(Vec& out) : out_(out), base_(out.size()) {}
+
+  template <typename KT, typename VT>
+  bool operator()(const KT& key, const VT& value) {
+    out_.push_back({key, value});
+    return true;
+  }
+
+  void on_restart() { out_.resize(base_); }
+
+ private:
+  Vec& out_;
+  std::size_t base_;
+};
+
+}  // namespace detail
 
 /// Hard cap on index height; Params::max_level must stay below it.
 inline constexpr int kMaxHeight = 24;
@@ -326,12 +376,20 @@ class LeapListBase {
     return static_cast<int>(it - n->keys.begin());
   }
 
-  static void collect_range(const Node* n, Key low, Key high,
-                            std::vector<KV>& out) {
+  /// Visit `n`'s pairs in [low, high] in key order; returns false when
+  /// the visitor stopped the scan early. The engine never materializes
+  /// a vector here — accumulation is the visitor's business.
+  template <typename F>
+  static bool visit_node(const Node* n, Key low, Key high, F& fn,
+                         std::size_t& count) {
     auto it = std::lower_bound(n->keys.begin(), n->keys.end(), low);
     for (; it != n->keys.end() && *it <= high; ++it) {
-      out.push_back(KV{*it, n->values[it - n->keys.begin()]});
+      ++count;
+      if (!detail::visit_one(fn, *it, n->values[it - n->keys.begin()])) {
+        return false;
+      }
     }
+    return true;
   }
 
   Replacement plan_insert(Node* n, Key key, Value value) const {
@@ -598,18 +656,27 @@ class LeapListBase {
     return n->values[idx];
   }
 
-  std::size_t txn_range(stm::Tx& tx, Key low, Key high, std::vector<KV>& out,
-                        TxSearch mode) const {
+  /// Visitor-driven in-transaction range scan. The visitor runs during
+  /// the (speculative) walk so it can stop the scan early; a hybrid
+  /// walk that trips over this transaction's own buffered writes is
+  /// rolled back via visit_restart and redone instrumented. Returns the
+  /// number of pairs visited.
+  template <typename F>
+  std::size_t txn_for_range(stm::Tx& tx, Key low, Key high, F&& fn,
+                            TxSearch mode) const {
     assert(tx.in_tx());
-    out.clear();
+    std::size_t count = 0;
     if (mode == TxSearch::kHybrid) {
+      detail::visit_restart(fn);
       const SearchResult sr =
           search_predecessors(head_, params_.max_level, low);
       Node* x = sr.pa[0];
+      bool self_dirty = false;
       while (true) {
         if (tx.has_write(x->next[0])) {
           // The chain ahead was reshaped by this transaction; only the
           // instrumented walk sees the buffered pointers.
+          self_dirty = true;
           break;
         }
         const std::uint64_t word = x->next[0].tx_read(tx);
@@ -620,23 +687,26 @@ class LeapListBase {
           tx.abort();
         }
         Node* n = util::to_ptr<Node>(word);
-        collect_range(n, low, high, out);
-        if (n->high_raw() >= high) return out.size();
+        if (!visit_node(n, low, high, fn, count)) return count;
+        if (n->high_raw() >= high) return count;
         x = n;
       }
-      out.clear();
+      assert(self_dirty);
+      (void)self_dirty;
     }
+    detail::visit_restart(fn);
+    count = 0;
     const SearchResult sr =
         search_predecessors_tx(tx, head_, params_.max_level, low);
     Node* n = sr.na[0];
     while (true) {
-      collect_range(n, low, high, out);
+      if (!visit_node(n, low, high, fn, count)) break;
       if (n->high_raw() >= high) break;
       const std::uint64_t word = n->next[0].tx_read(tx);
       if (util::is_marked(word)) tx.abort();
       n = util::to_ptr<Node>(word);
     }
-    return out.size();
+    return count;
   }
 
   Node* data_next(const Node* n, int level = 0) const {
@@ -698,10 +768,15 @@ class LeapListLT : public LeapListBase {
     return n->values[idx];
   }
 
-  /// Linearizable range query: one transactional read per node hop
+  /// Linearizable range visitation: one transactional read per node hop
   /// (≈ one instrumented access per K keys); commit validates the hop
-  /// chain, and immutable content makes the snapshot consistent.
-  std::size_t range_query(Key low, Key high, std::vector<KV>& out) const {
+  /// chain, and immutable content makes the snapshot consistent. The
+  /// visitor may stop the scan early (return false) — the hops read so
+  /// far still validate, so the visited prefix is itself a snapshot. An
+  /// attempt that fails validation re-visits from `low` after
+  /// visit_restart. Returns the number of pairs visited.
+  template <typename F>
+  std::size_t for_range(Key low, Key high, F&& fn) const {
     util::ebr::Guard guard;
     stm::Tx& tx = stm::tls_tx();
     while (true) {
@@ -709,20 +784,29 @@ class LeapListLT : public LeapListBase {
           search_predecessors(head_, params_.max_level, low);
       Node* start = sr.pa[0];
       bool restart = false;
+      std::size_t count = 0;
       stm::atomically(tx, [&](stm::Tx& t) {
-        out.clear();
+        detail::visit_restart(fn);
+        count = 0;
         restart = false;
         Node* n = hop(t, start, restart);
         if (restart) return;
         while (true) {
-          collect_range(n, low, high, out);
-          if (n->high_raw() >= high) break;
+          if (!visit_node(n, low, high, fn, count)) return;
+          if (n->high_raw() >= high) return;
           n = hop(t, n, restart);
           if (restart) return;
         }
       });
-      if (!restart) return out.size();
+      if (!restart) return count;
     }
+  }
+
+  /// Legacy bulk form: REPLACES `out` (clears, then collects). New code
+  /// should prefer for_range with leap::append_to for explicit append.
+  std::size_t range_query(Key low, Key high, std::vector<KV>& out) const {
+    out.clear();
+    return for_range(low, high, detail::Appender(out));
   }
 
  private:
@@ -843,12 +927,19 @@ class LeapListCOP : public LeapListBase {
     }
   }
 
-  std::size_t range_query(Key low, Key high, std::vector<KV>& out) const {
+  /// Consistency-oblivious range visitation: raw walk invoking the
+  /// visitor as it goes (early exit supported), then one commit
+  /// transaction validating every hop the walk (or its early-exited
+  /// prefix) observed. A failed validation re-visits from `low` after
+  /// visit_restart.
+  template <typename F>
+  std::size_t for_range(Key low, Key high, F&& fn) const {
     util::ebr::Guard guard;
     stm::Tx& tx = stm::tls_tx();
     std::vector<std::pair<stm::TxField<std::uint64_t>*, std::uint64_t>> hops;
     while (true) {
-      out.clear();
+      detail::visit_restart(fn);
+      std::size_t count = 0;
       hops.clear();
       const SearchResult sr =
           search_predecessors(head_, params_.max_level, low);
@@ -862,7 +953,7 @@ class LeapListCOP : public LeapListBase {
         }
         hops.emplace_back(&x->next[0], word);
         Node* n = util::to_ptr<Node>(word);
-        collect_range(n, low, high, out);
+        if (!visit_node(n, low, high, fn, count)) break;
         if (n->high_raw() >= high) break;
         x = n;
       }
@@ -877,8 +968,14 @@ class LeapListCOP : public LeapListBase {
           }
         }
       });
-      if (valid) return out.size();
+      if (valid) return count;
     }
+  }
+
+  /// Legacy bulk form: REPLACES `out` (clears, then collects).
+  std::size_t range_query(Key low, Key high, std::vector<KV>& out) const {
+    out.clear();
+    return for_range(low, high, detail::Appender(out));
   }
 };
 
@@ -908,9 +1005,21 @@ class LeapListTM : public LeapListBase {
     return txn_get(tx, key, TxSearch::kHybrid);
   }
 
+  /// Composable range visitation: enlists in the caller's open
+  /// transaction. Like the enclosing leap::txn closure, the visitor may
+  /// be re-invoked (after visit_restart) when the attempt conflicts or
+  /// the hybrid walk falls back to the instrumented search.
+  template <typename F>
+  std::size_t for_range_in(stm::Tx& tx, Key low, Key high, F&& fn) const {
+    return txn_for_range(tx, low, high, fn, TxSearch::kHybrid);
+  }
+
+  /// Legacy bulk form: REPLACES `out` (clears, then collects).
   std::size_t range_in(stm::Tx& tx, Key low, Key high,
                        std::vector<KV>& out) const {
-    return txn_range(tx, low, high, out, TxSearch::kHybrid);
+    out.clear();
+    return txn_for_range(tx, low, high, detail::Appender(out),
+                         TxSearch::kHybrid);
   }
 
   // Single-op forms — one transaction per call.
@@ -932,10 +1041,17 @@ class LeapListTM : public LeapListBase {
     });
   }
 
-  std::size_t range_query(Key low, Key high, std::vector<KV>& out) const {
+  template <typename F>
+  std::size_t for_range(Key low, Key high, F&& fn) const {
     return leap::txn([&](stm::Tx& tx) {
-      return txn_range(tx, low, high, out, TxSearch::kInstrumented);
+      return txn_for_range(tx, low, high, fn, TxSearch::kInstrumented);
     });
+  }
+
+  /// Legacy bulk form: REPLACES `out` (clears, then collects).
+  std::size_t range_query(Key low, Key high, std::vector<KV>& out) const {
+    out.clear();
+    return for_range(low, high, detail::Appender(out));
   }
 };
 
@@ -988,17 +1104,26 @@ class LeapListRW : public LeapListBase {
     return n->values[idx];
   }
 
-  std::size_t range_query(Key low, Key high, std::vector<KV>& out) const {
+  /// Range visitation under the shared lock: no restarts ever happen,
+  /// so the visitor runs exactly once per pair.
+  template <typename F>
+  std::size_t for_range(Key low, Key high, F&& fn) const {
     std::shared_lock<std::shared_mutex> lk(mu_);
-    out.clear();
     const SearchResult sr = search_predecessors(head_, params_.max_level, low);
     Node* n = sr.na[0];
+    std::size_t count = 0;
     while (true) {
-      collect_range(n, low, high, out);
+      if (!visit_node(n, low, high, fn, count)) break;
       if (n->high_raw() >= high) break;
       n = data_next(n);
     }
-    return out.size();
+    return count;
+  }
+
+  /// Legacy bulk form: REPLACES `out` (clears, then collects).
+  std::size_t range_query(Key low, Key high, std::vector<KV>& out) const {
+    out.clear();
+    return for_range(low, high, detail::Appender(out));
   }
 
  private:

@@ -213,11 +213,14 @@ class SkipListCAS {
     return curr->value.load(std::memory_order_acquire);
   }
 
-  /// Unsynchronized scan — pays one hop per key and may interleave with
-  /// concurrent updates (NOT a consistent snapshot; see Fig 17(d)).
-  std::size_t range_query(Key low, Key high, std::vector<KV>& out) const {
+  /// Unsynchronized visitation — pays one hop per key and may
+  /// interleave with concurrent updates (NOT a consistent snapshot; see
+  /// Fig 17(d)). The visitor runs exactly once per live pair seen and
+  /// may stop the scan by returning false.
+  template <typename F>
+  std::size_t for_range(Key low, Key high, F&& fn) const {
     util::ebr::Guard guard;
-    out.clear();
+    std::size_t count = 0;
     Node* pred = head_;
     for (int i = max_level_ - 1; i >= 0; --i) {
       Node* curr =
@@ -234,12 +237,22 @@ class SkipListCAS {
       const std::uint64_t succw =
           curr->next[0].load(std::memory_order_acquire);
       if (curr->key >= low && !util::is_marked(succw)) {
-        out.push_back(
-            KV{curr->key, curr->value.load(std::memory_order_acquire)});
+        ++count;
+        if (!core::detail::visit_one(
+                fn, curr->key,
+                curr->value.load(std::memory_order_acquire))) {
+          break;
+        }
       }
       curr = util::to_ptr<Node>(succw);
     }
-    return out.size();
+    return count;
+  }
+
+  /// Legacy bulk form: REPLACES `out` (clears, then collects).
+  std::size_t range_query(Key low, Key high, std::vector<KV>& out) const {
+    out.clear();
+    return for_range(low, high, core::detail::Appender(out));
   }
 
  private:
@@ -416,21 +429,35 @@ class SkipListTM {
     return result;
   }
 
-  std::size_t range_query(Key low, Key high, std::vector<KV>& out) const {
+  /// Fully instrumented visitation; a conflicting attempt re-visits
+  /// from `low` after visit_restart. Early exit commits the prefix.
+  template <typename F>
+  std::size_t for_range(Key low, Key high, F&& fn) const {
     util::ebr::Guard guard;
     stm::Tx& tx = stm::tls_tx();
+    std::size_t count = 0;
     stm::atomically(tx, [&](stm::Tx& t) {
-      out.clear();
+      core::detail::visit_restart(fn);
+      count = 0;
       Node* preds[core::kMaxHeight];
       Node* succs[core::kMaxHeight];
       find_tx(t, low, preds, succs);
       Node* curr = succs[0];
       while (curr != tail_ && curr->key <= high) {
-        out.push_back(KV{curr->key, curr->value.tx_read(t)});
+        ++count;
+        if (!core::detail::visit_one(fn, curr->key, curr->value.tx_read(t))) {
+          break;
+        }
         curr = util::to_ptr<Node>(curr->next[0].tx_read(t));
       }
     });
-    return out.size();
+    return count;
+  }
+
+  /// Legacy bulk form: REPLACES `out` (clears, then collects).
+  std::size_t range_query(Key low, Key high, std::vector<KV>& out) const {
+    out.clear();
+    return for_range(low, high, core::detail::Appender(out));
   }
 
  private:
@@ -458,3 +485,17 @@ class SkipListTM {
 };
 
 }  // namespace leap::skip
+
+/// Map policies (leaplist/map.hpp) for the skip-list baselines, so the
+/// harness drives every structure through one leap::Map facade. Neither
+/// exposes composable `*_in` forms.
+namespace leap::policy {
+struct SkipCAS {
+  using engine = skip::SkipListCAS;
+  static constexpr bool kComposable = false;
+};
+struct SkipTM {
+  using engine = skip::SkipListTM;
+  static constexpr bool kComposable = false;
+};
+}  // namespace leap::policy

@@ -114,10 +114,9 @@ class Tx {
   [[noreturn]] void abort() const { throw TxAborted{}; }
 
   std::uint64_t read_word(TxFieldBase& field) {
-    // Read-your-writes.
-    for (auto it = writes_.rbegin(); it != writes_.rend(); ++it) {
-      if (it->field == &field) return it->value;
-    }
+    // Read-your-writes (O(1) through the write-set index).
+    const std::size_t slot = write_slot(&field);
+    if (slot != kNoSlot) return writes_[index_[slot].pos].value;
     const std::uint64_t v1 = field.vlock_.load(std::memory_order_acquire);
     if (detail::vlock_locked(v1) || detail::vlock_version(v1) > rv_) {
       abort();
@@ -130,24 +129,23 @@ class Tx {
   }
 
   void write_word(TxFieldBase& field, std::uint64_t value) {
-    for (auto& entry : writes_) {
-      if (entry.field == &field) {
-        entry.value = value;
-        return;
-      }
+    const std::size_t slot = write_slot(&field);
+    if (slot != kNoSlot) {
+      writes_[index_[slot].pos].value = value;
+      return;
     }
+    index_put(&field, static_cast<std::uint32_t>(writes_.size()));
     writes_.push_back({&field, value, 0});
   }
 
   /// True when the transaction already buffered a write to `field`.
   /// Composable structure ops use this to detect that their raw
   /// (uninstrumented) traversal walked a window this transaction has
-  /// itself reshaped, and fall back to an instrumented search.
+  /// itself reshaped, and fall back to an instrumented search. O(1):
+  /// a wide typed-map transaction probes this once per level per op,
+  /// so a linear scan over W buffered writes would go quadratic.
   bool has_write(const TxFieldBase& field) const noexcept {
-    for (const WriteEntry& w : writes_) {
-      if (w.field == &field) return true;
-    }
-    return false;
+    return write_slot(&field) != kNoSlot;
   }
 
   /// Deferred side effects for composable ops. A commit action runs
@@ -187,6 +185,8 @@ class Tx {
   void begin(bool irrevocable) {
     reads_.clear();
     writes_.clear();
+    ++index_stamp_;  // O(1) write-set-index clear
+    index_count_ = 0;
     commit_actions_.clear();
     abort_actions_.clear();
     irrevocable_ = irrevocable;
@@ -289,6 +289,10 @@ class Tx {
 
   bool owns(const TxFieldBase* field) const { return has_write(*field); }
 
+  /// Linear on purpose: it runs after commit_locked() sorted writes_,
+  /// which stales the index's positions (membership stays exact — the
+  /// slots key on the field pointer — but `pos` no longer does), and
+  /// only for read-set fields found locked at validation, a rare path.
   std::uint64_t saved_version_of(const TxFieldBase* field) const {
     for (const WriteEntry& w : writes_) {
       if (w.field == field) return detail::vlock_version(w.saved_vlock);
@@ -303,8 +307,61 @@ class Tx {
     }
   }
 
+  // --- Write-set index ------------------------------------------------
+  //
+  // Open-addressing map from field pointer to position in writes_,
+  // stamp-cleared: begin() bumps index_stamp_ and any slot whose stamp
+  // disagrees is empty, so clearing is O(1) regardless of the previous
+  // attempt's width. Positions are valid until commit_locked() sorts
+  // writes_; after that only membership queries (owns) remain correct,
+  // which is all the commit path asks.
+
+  struct IndexSlot {
+    const TxFieldBase* field = nullptr;
+    std::uint64_t stamp = 0;
+    std::uint32_t pos = 0;
+  };
+  static constexpr std::size_t kNoSlot = ~std::size_t{0};
+
+  static std::size_t slot_hash(const TxFieldBase* field) noexcept {
+    auto h = static_cast<std::uint64_t>(
+        reinterpret_cast<std::uintptr_t>(field) >> 4);
+    h *= 0x9E3779B97F4A7C15ull;
+    return static_cast<std::size_t>(h ^ (h >> 32));
+  }
+
+  std::size_t write_slot(const TxFieldBase* field) const noexcept {
+    const std::size_t mask = index_.size() - 1;
+    for (std::size_t i = slot_hash(field) & mask;; i = (i + 1) & mask) {
+      const IndexSlot& slot = index_[i];
+      if (slot.stamp != index_stamp_) return kNoSlot;
+      if (slot.field == field) return i;
+    }
+  }
+
+  /// Caller guarantees `field` is absent. Grows at 3/4 load so the
+  /// probe above always terminates on an empty slot.
+  void index_put(const TxFieldBase* field, std::uint32_t pos) {
+    if ((index_count_ + 1) * 4 > index_.size() * 3) {
+      index_.assign(index_.size() * 2, IndexSlot{});
+      index_count_ = 0;
+      ++index_stamp_;
+      for (std::uint32_t p = 0; p < writes_.size(); ++p) {
+        index_put(writes_[p].field, p);
+      }
+    }
+    const std::size_t mask = index_.size() - 1;
+    std::size_t i = slot_hash(field) & mask;
+    while (index_[i].stamp == index_stamp_) i = (i + 1) & mask;
+    index_[i] = IndexSlot{field, index_stamp_, pos};
+    ++index_count_;
+  }
+
   std::vector<ReadEntry> reads_;
   std::vector<WriteEntry> writes_;
+  std::vector<IndexSlot> index_ = std::vector<IndexSlot>(64);
+  std::uint64_t index_stamp_ = 1;
+  std::size_t index_count_ = 0;
   std::vector<std::function<void()>> commit_actions_;
   std::vector<std::function<void()>> abort_actions_;
   std::uint64_t rv_ = 0;

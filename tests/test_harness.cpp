@@ -70,19 +70,22 @@ void test_driver_end_to_end() {
   cfg.mix = Mix::read_dominated();
   cfg.threads = 2;
   cfg.duration = std::chrono::milliseconds(50);
-  const ThroughputResult result =
-      run_workload<LeapAdapter<leap::core::LeapListLT>>(cfg, 1);
+  using LTMap = leap::Map<std::int64_t, std::int64_t, leap::policy::LT>;
+  using COPMap = leap::Map<std::int64_t, std::int64_t, leap::policy::COP>;
+  using SkipCASMap =
+      leap::Map<std::int64_t, std::int64_t, leap::policy::SkipCAS>;
+  const ThroughputResult result = run_workload<MapAdapter<LTMap>>(cfg, 1);
   CHECK(result.total_ops > 0);
   CHECK(result.ops_per_sec > 0);
 
-  LeapAdapter<leap::core::LeapListCOP> adapter(cfg);
+  MapAdapter<COPMap> adapter(cfg);
   const LatencyResult latency = run_latency(adapter, cfg);
   CHECK(latency.lookup.samples() > 0);
   CHECK(latency.range.samples() > 0);
   CHECK(latency.update.samples() > 0);
 
   const ThroughputResult skip_result =
-      run_workload<SkipAdapter<leap::skip::SkipListCAS>>(cfg, 1);
+      run_workload<MapAdapter<SkipCASMap>>(cfg, 1);
   CHECK(skip_result.total_ops > 0);
 }
 
