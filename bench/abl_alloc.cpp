@@ -1,0 +1,266 @@
+// Ablation: allocator traffic per update operation (PR 4).
+//
+// The paper's update model never edits a published node: every
+// insert/erase builds replacement node(s), so allocation IS the update
+// hot path. This bench overrides global operator new/delete with
+// counting wrappers and drives a steady-state insert/erase churn
+// through the typed maps, reporting amortized heap allocations, bytes,
+// and frees per MUTATING update (ops that actually replaced a node).
+// The flat single-allocation node should cost ≤ 1 allocation per
+// update without the recycling pool (ASan builds, where the pool is
+// pass-through) and ~0 with it; the pre-PR fat node cost 4 (Node +
+// next/keys/values vectors). Both bounds are enforced as a guard
+// (the pass-through bound is 1.25 — 1 node block plus amortized EBR
+// bin-vector growth).
+//
+// Also measures the fig16-style update-heavy mixed workload (30%
+// modify / 40% lookup / 30% range at 8 threads) whose before/after
+// ratio bench/record_bench.sh bakes into BENCH_PR4.json, and emits
+// machine-readable JSON (one key per line) when LEAP_BENCH_JSON names
+// a path.
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "fig_common.hpp"
+#include "util/ebr.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+std::atomic<bool> g_counting{false};
+std::atomic<std::uint64_t> g_allocs{0};
+std::atomic<std::uint64_t> g_alloc_bytes{0};
+std::atomic<std::uint64_t> g_frees{0};
+
+void count_alloc(std::size_t size) {
+  if (g_counting.load(std::memory_order_relaxed)) {
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+    g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+  }
+}
+
+void count_free() {
+  if (g_counting.load(std::memory_order_relaxed)) {
+    g_frees.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void* checked_malloc(std::size_t size) {
+  void* ptr = std::malloc(size != 0 ? size : 1);
+  if (ptr == nullptr) throw std::bad_alloc();
+  return ptr;
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  count_alloc(size);
+  return checked_malloc(size);
+}
+
+void* operator new[](std::size_t size) {
+  count_alloc(size);
+  return checked_malloc(size);
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  count_alloc(size);
+  return std::malloc(size != 0 ? size : 1);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  count_alloc(size);
+  return std::malloc(size != 0 ? size : 1);
+}
+
+void operator delete(void* ptr) noexcept {
+  count_free();
+  std::free(ptr);
+}
+
+void operator delete(void* ptr, const std::nothrow_t&) noexcept {
+  count_free();
+  std::free(ptr);
+}
+
+void operator delete[](void* ptr, const std::nothrow_t&) noexcept {
+  count_free();
+  std::free(ptr);
+}
+
+void operator delete[](void* ptr) noexcept {
+  count_free();
+  std::free(ptr);
+}
+
+void operator delete(void* ptr, std::size_t) noexcept {
+  count_free();
+  std::free(ptr);
+}
+
+void operator delete[](void* ptr, std::size_t) noexcept {
+  count_free();
+  std::free(ptr);
+}
+
+namespace {
+
+using namespace leap::bench;
+
+struct AllocStats {
+  double allocs_per_update = 0;
+  double bytes_per_update = 0;
+  double frees_per_update = 0;
+};
+
+/// Steady-state churn: random 50/50 insert/erase over the preloaded
+/// key range, single-threaded, counting only the measured window (the
+/// warm-up saturates the recycling pool and every internal vector).
+template <typename MapT>
+AllocStats measure_updates(const std::uint64_t ops) {
+  const WorkloadConfig cfg = paper_config();
+  MapT map(cfg.params);
+  {
+    std::vector<typename MapT::value_type> pairs;
+    for (const std::uint64_t key : leap::harness::preload_keys(cfg)) {
+      pairs.push_back({static_cast<std::int64_t>(key),
+                       static_cast<std::int64_t>(key)});
+    }
+    map.bulk_load(pairs);
+  }
+  leap::util::Xoshiro256 rng(0xa110c);
+  const auto churn = [&](std::uint64_t count, std::uint64_t& mutations) {
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const auto key =
+          static_cast<std::int64_t>(1 + rng.next_below(cfg.key_range));
+      if ((rng.next() & 1) != 0) {
+        map.insert(key, key * 2 + 1);  // hit either way: add or replace
+        ++mutations;
+      } else if (map.erase(key)) {
+        ++mutations;
+      }
+    }
+  };
+  std::uint64_t warm_mutations = 0;
+  churn(ops / 2, warm_mutations);
+  g_allocs.store(0);
+  g_alloc_bytes.store(0);
+  g_frees.store(0);
+  std::uint64_t mutations = 0;
+  g_counting.store(true);
+  churn(ops, mutations);
+  g_counting.store(false);
+  AllocStats stats;
+  const auto denom = static_cast<double>(std::max<std::uint64_t>(1, mutations));
+  stats.allocs_per_update = static_cast<double>(g_allocs.load()) / denom;
+  stats.bytes_per_update = static_cast<double>(g_alloc_bytes.load()) / denom;
+  stats.frees_per_update = static_cast<double>(g_frees.load()) / denom;
+  return stats;
+}
+
+/// Fig16-style update-heavy mixed workload: 30% modify at 8 threads
+/// regardless of core count (the acceptance workload for PR 4).
+double measure_mixed(const char* policy_label) {
+  WorkloadConfig cfg = paper_config();
+  cfg.mix = Mix{40, 30, 0};  // remainder 30% modify
+  cfg.threads = 8;
+  cfg.duration = leap::harness::bench_duration(std::chrono::milliseconds(400));
+  const int repeats = leap::harness::bench_repeats(2);
+  if (std::string(policy_label) == "LT") {
+    return harness::run_workload<MapAdapter<LTMap>>(cfg, repeats).ops_per_sec;
+  }
+  if (std::string(policy_label) == "COP") {
+    return harness::run_workload<MapAdapter<COPMap>>(cfg, repeats).ops_per_sec;
+  }
+  return harness::run_workload<MapAdapter<TMMap>>(cfg, repeats).ops_per_sec;
+}
+
+}  // namespace
+
+int main() {
+  const bool smoke = leap::harness::smoke_mode();
+  const std::uint64_t ops = smoke ? 20000 : 100000;
+
+  print_figure_header(
+      std::cout, "Ablation: allocator traffic per update",
+      "heap allocations / bytes / frees per mutating update, steady state",
+      "flat nodes: ≤1 alloc/update heap-backed, ~0 with the recycling "
+      "pool (pre-PR fat nodes cost 4)");
+
+  const AllocStats lt = measure_updates<LTMap>(ops);
+  const AllocStats cop = measure_updates<COPMap>(ops);
+  const AllocStats tm = measure_updates<TMMap>(ops);
+
+  Table table({"variant", "allocs/upd", "bytes/upd", "frees/upd"});
+  const auto row = [&](const char* label, const AllocStats& s) {
+    char allocs[32], bytes[32], frees[32];
+    std::snprintf(allocs, sizeof(allocs), "%.3f", s.allocs_per_update);
+    std::snprintf(bytes, sizeof(bytes), "%.0f", s.bytes_per_update);
+    std::snprintf(frees, sizeof(frees), "%.3f", s.frees_per_update);
+    table.add_row({label, allocs, bytes, frees});
+  };
+  row("Leap-LT", lt);
+  row("Leap-COP", cop);
+  row("Leap-tm", tm);
+  table.print(std::cout);
+
+  const bool pooled = leap::util::ebr::pool_enabled();
+  std::cout << "pool: " << (pooled ? "enabled" : "pass-through (sanitizer)")
+            << ", hits " << leap::util::ebr::pool_hits() << ", misses "
+            << leap::util::ebr::pool_misses() << "\n";
+
+  const double mixed_lt = measure_mixed("LT");
+  const double mixed_cop = measure_mixed("COP");
+  const double mixed_tm = measure_mixed("TM");
+  Table mixed({"variant", "mixed 30%upd/8thr ops/s"});
+  mixed.add_row({"Leap-LT", Table::format_ops(mixed_lt)});
+  mixed.add_row({"Leap-COP", Table::format_ops(mixed_cop)});
+  mixed.add_row({"Leap-tm", Table::format_ops(mixed_tm)});
+  mixed.print(std::cout);
+
+  if (const char* path = std::getenv("LEAP_BENCH_JSON")) {
+    std::ofstream out(path);
+    out.setf(std::ios::fixed);
+    out.precision(4);
+    out << "{\n"
+        << "  \"bench\": \"abl_alloc\",\n"
+        << "  \"pool_enabled\": " << (pooled ? "true" : "false") << ",\n"
+        << "  \"pool_hits\": " << leap::util::ebr::pool_hits() << ",\n"
+        << "  \"pool_misses\": " << leap::util::ebr::pool_misses() << ",\n"
+        << "  \"lt_allocs_per_update\": " << lt.allocs_per_update << ",\n"
+        << "  \"cop_allocs_per_update\": " << cop.allocs_per_update << ",\n"
+        << "  \"tm_allocs_per_update\": " << tm.allocs_per_update << ",\n"
+        << "  \"lt_bytes_per_update\": " << lt.bytes_per_update << ",\n"
+        << "  \"cop_bytes_per_update\": " << cop.bytes_per_update << ",\n"
+        << "  \"tm_bytes_per_update\": " << tm.bytes_per_update << ",\n"
+        << "  \"mixed_threads\": 8,\n"
+        << "  \"mixed_modify_pct\": 30,\n"
+        << "  \"lt_mixed_ops_per_sec\": " << mixed_lt << ",\n"
+        << "  \"cop_mixed_ops_per_sec\": " << mixed_cop << ",\n"
+        << "  \"tm_mixed_ops_per_sec\": " << mixed_tm << "\n"
+        << "}\n";
+  }
+
+  // Guard: flat nodes must stay at ≤1 heap allocation per update —
+  // bound 1.25 to absorb amortized EBR bin-vector growth in
+  // pass-through (sanitizer) builds — and effectively 0 when the
+  // recycling pool is live.
+  const double limit = pooled ? 1.0 : 1.25;
+  for (const AllocStats& s : {lt, cop, tm}) {
+    if (s.allocs_per_update > limit) {
+      std::cerr << "FAILED: " << s.allocs_per_update
+                << " allocations per update exceeds the " << limit
+                << " bound\n";
+      return 1;
+    }
+  }
+  std::cout << "alloc-per-update guard passed (bound " << limit << ")\n";
+  return 0;
+}

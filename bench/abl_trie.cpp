@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "leaplist/leaplist.hpp"
 #include "trie/bit_trie.hpp"
 #include "util/random.hpp"
 
@@ -38,7 +39,37 @@ void BM_TrieGetIndex(benchmark::State& state) {
     benchmark::DoNotOptimize(trie.get_index(keys, probe));
   }
 }
-BENCHMARK(BM_TrieGetIndex)->Arg(16)->Arg(64)->Arg(150)->Arg(300)->Arg(1000);
+BENCHMARK(BM_TrieGetIndex)
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(150)
+    ->Arg(300)
+    ->Arg(1000)
+    ->Arg(4096);
+
+/// The shipped in-node search (PR 4): branchless lower_bound over the
+/// flat key array — the competitor the trie must beat at some K for
+/// the ROADMAP trie item to wire it in.
+void BM_BranchlessGetIndex(benchmark::State& state) {
+  const auto keys = make_keys(static_cast<std::size_t>(state.range(0)), 42);
+  leap::util::Xoshiro256 rng(7);
+  for (auto _ : state) {
+    const auto probe = keys[rng.next_below(keys.size())];
+    const std::size_t idx = leap::core::detail::flat_lower_bound(
+        keys.data(), keys.size(), probe);
+    const int index =
+        (idx < keys.size() && keys[idx] == probe) ? static_cast<int>(idx)
+                                                  : -1;
+    benchmark::DoNotOptimize(index);
+  }
+}
+BENCHMARK(BM_BranchlessGetIndex)
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(150)
+    ->Arg(300)
+    ->Arg(1000)
+    ->Arg(4096);
 
 void BM_BinarySearchGetIndex(benchmark::State& state) {
   const auto keys = make_keys(static_cast<std::size_t>(state.range(0)), 42);
@@ -58,7 +89,8 @@ BENCHMARK(BM_BinarySearchGetIndex)
     ->Arg(64)
     ->Arg(150)
     ->Arg(300)
-    ->Arg(1000);
+    ->Arg(1000)
+    ->Arg(4096);
 
 void BM_TrieGetIndexMiss(benchmark::State& state) {
   const auto keys = make_keys(static_cast<std::size_t>(state.range(0)), 42);

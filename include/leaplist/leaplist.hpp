@@ -31,11 +31,13 @@
 #include <array>
 #include <atomic>
 #include <cassert>
+#include <cstddef>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <limits>
 #include <mutex>
+#include <new>
 #include <optional>
 #include <shared_mutex>
 #include <type_traits>
@@ -97,12 +99,64 @@ class Appender {
     return true;
   }
 
+  /// Bulk ingest of a whole in-range run (see visit_node): one resize,
+  /// then a tight branch-free fill — no per-pair capacity check.
+  template <typename KT, typename VT>
+    requires requires(Vec v, const KT& k, const VT& val) {
+      v.push_back({k, val});
+    }
+  void append_run(const KT* keys, const VT* values, std::size_t n) {
+    const std::size_t at = out_.size();
+    out_.resize(at + n);
+    auto* dst = out_.data() + at;
+    for (std::size_t i = 0; i < n; ++i) dst[i] = {keys[i], values[i]};
+  }
+
   void on_restart() { out_.resize(base_); }
 
  private:
   Vec& out_;
   std::size_t base_;
 };
+
+/// First index in [0, n] whose key is >= probe: branchless binary
+/// search over the flat key array. The per-step update compiles to a
+/// conditional move, so the in-node hot loop carries no unpredictable
+/// branch (measured against std::lower_bound and the PATRICIA trie in
+/// abl_search / abl_trie; see ROADMAP's trie item).
+inline std::size_t flat_lower_bound(const Key* keys, std::size_t n,
+                                    Key probe) noexcept {
+  std::size_t base = 0;
+  while (n > 1) {
+    const std::size_t half = n / 2;
+    base += (keys[base + half - 1] < probe) ? half : 0;
+    n -= half;
+  }
+  return base + static_cast<std::size_t>(n == 1 && keys[base] < probe);
+}
+
+/// First index in [0, n] whose key is > probe (strict), same branchless
+/// shape. Safe for probe == kSentinelKey (no probe + 1 anywhere).
+inline std::size_t flat_upper_bound(const Key* keys, std::size_t n,
+                                    Key probe) noexcept {
+  std::size_t base = 0;
+  while (n > 1) {
+    const std::size_t half = n / 2;
+    base += (keys[base + half - 1] <= probe) ? half : 0;
+    n -= half;
+  }
+  return base + static_cast<std::size_t>(n == 1 && keys[base] <= probe);
+}
+
+/// A visitor that bulk-ingests whole in-range runs instead of taking
+/// pairs one at a time. Bulk visitors are unbounded accumulators by
+/// contract — they cannot stop the scan early (Appender qualifies,
+/// bounded collectors don't).
+template <typename F>
+concept BulkVisitor =
+    requires(F& fn, const Key* keys, const Value* values, std::size_t n) {
+      fn.append_run(keys, values, n);
+    };
 
 }  // namespace detail
 
@@ -118,26 +172,174 @@ struct Params {
   int max_level = 10;
 };
 
+/// A fat node as ONE flat allocation: a fixed header followed by the
+/// node's variable trailing storage, SoA preserved —
+///
+///   [ header | next: TxField<u64> × level | keys: Key × capacity |
+///     values: Value × capacity ]
+///
+/// The `next` marked-pointer words are the only transactional state;
+/// every next(i) access holds i < level by the skiplist invariant (a
+/// level-i predecessor is linked at level i). keys/values are sorted
+/// and immutable once published (RW, which runs under an exclusive
+/// lock, excepted). LT's per-node lock lives in a striped side table
+/// (detail::stripe_lock), not in the node, so COP/TM/RW — which never
+/// lock — don't carry it. Blocks come from util::ebr's recycling pool
+/// (make_node) and return to it once a victim's grace period elapses
+/// (recycle_node), so steady-state updates never touch the heap.
 struct Node {
-  Node(std::size_t capacity, int level_in, Key high_in)
-      : high(high_in), level(level_in), next(level_in) {
-    keys.reserve(capacity);
-    values.reserve(capacity);
-  }
-
-  Key high;   // inclusive upper bound of this node's key range
-  int level;  // number of index levels this node is linked at
+  Key high;                      // inclusive upper bound of the key range
+  std::uint32_t count;           // live pairs
+  const std::uint32_t capacity;  // trailing key/value slots
+  const std::int32_t level;      // index levels this node is linked at
   std::atomic<bool> live{true};
-  /// Marked-pointer words, one per linked level; the only transactional
-  /// state in the node. Every next[i] access holds i < level by the
-  /// skiplist invariant (a level-i predecessor is linked at level i).
-  std::vector<stm::TxField<std::uint64_t>> next;
-  std::vector<Key> keys;  // sorted; immutable once published (RW excepted)
-  std::vector<Value> values;
-  std::mutex lock;  // LT per-node lock
+
+  Node(std::uint32_t capacity_in, int level_in, Key high_in)
+      : high(high_in),
+        count(0),
+        capacity(capacity_in),
+        level(level_in) {}
 
   Key high_raw() const { return high; }
+
+  // Trailing-array accessors; only the key/value offset depends on
+  // runtime state (level), one add on the hot path.
+  stm::TxField<std::uint64_t>& next(int i) noexcept;
+  const stm::TxField<std::uint64_t>& next(int i) const noexcept;
+  Key* keys() noexcept;
+  const Key* keys() const noexcept;
+  Value* values() noexcept;
+  const Value* values() const noexcept;
+
+  /// Append one pair while bulk-building an unpublished node.
+  void append(Key key, Value value) noexcept {
+    assert(count < capacity);
+    keys()[count] = key;
+    values()[count] = value;
+    ++count;
+  }
+
+  static std::size_t bytes_for(std::uint32_t capacity, int level) noexcept;
+  std::size_t alloc_bytes() const noexcept {
+    return bytes_for(capacity, level);
+  }
 };
+
+/// Header size rounded up to the trailing arrays' alignment.
+inline constexpr std::size_t kNodeHeaderBytes =
+    (sizeof(Node) + alignof(stm::TxField<std::uint64_t>) - 1) &
+    ~(alignof(stm::TxField<std::uint64_t>) - 1);
+
+inline stm::TxField<std::uint64_t>& Node::next(int i) noexcept {
+  assert(i >= 0 && i < level);
+  return reinterpret_cast<stm::TxField<std::uint64_t>*>(
+      reinterpret_cast<std::byte*>(this) + kNodeHeaderBytes)[i];
+}
+
+inline const stm::TxField<std::uint64_t>& Node::next(int i) const noexcept {
+  assert(i >= 0 && i < level);
+  return reinterpret_cast<const stm::TxField<std::uint64_t>*>(
+      reinterpret_cast<const std::byte*>(this) + kNodeHeaderBytes)[i];
+}
+
+inline Key* Node::keys() noexcept {
+  return reinterpret_cast<Key*>(
+      reinterpret_cast<std::byte*>(this) + kNodeHeaderBytes +
+      static_cast<std::size_t>(level) * sizeof(stm::TxField<std::uint64_t>));
+}
+
+inline const Key* Node::keys() const noexcept {
+  return reinterpret_cast<const Key*>(
+      reinterpret_cast<const std::byte*>(this) + kNodeHeaderBytes +
+      static_cast<std::size_t>(level) * sizeof(stm::TxField<std::uint64_t>));
+}
+
+inline Value* Node::values() noexcept {
+  return reinterpret_cast<Value*>(
+      reinterpret_cast<std::byte*>(keys()) +
+      static_cast<std::size_t>(capacity) * sizeof(Key));
+}
+
+inline const Value* Node::values() const noexcept {
+  return reinterpret_cast<const Value*>(
+      reinterpret_cast<const std::byte*>(keys()) +
+      static_cast<std::size_t>(capacity) * sizeof(Key));
+}
+
+inline std::size_t Node::bytes_for(std::uint32_t capacity,
+                                   int level) noexcept {
+  return kNodeHeaderBytes +
+         static_cast<std::size_t>(level) *
+             sizeof(stm::TxField<std::uint64_t>) +
+         static_cast<std::size_t>(capacity) * (sizeof(Key) + sizeof(Value));
+}
+
+static_assert(std::is_trivially_destructible_v<Node>,
+              "flat nodes are reclaimed as raw blocks");
+static_assert(alignof(Node) <= alignof(std::max_align_t) &&
+                  alignof(stm::TxField<std::uint64_t>) <= alignof(Node),
+              "one operator-new block must satisfy every segment");
+
+/// Placement-build a node in one pool block: header and next TxFields
+/// are placement-constructed; keys/values are implicit-lifetime arrays
+/// inside the same block.
+inline Node* make_node(std::uint32_t capacity, int level, Key high) {
+  void* raw = util::ebr::pool_alloc(Node::bytes_for(capacity, level));
+  Node* node = new (raw) Node(capacity, level, high);
+  stm::TxField<std::uint64_t>::construct_array(
+      reinterpret_cast<std::byte*>(raw) + kNodeHeaderBytes,
+      static_cast<std::size_t>(level));
+  return node;
+}
+
+/// Tear down an unreachable node — never published, or retired and
+/// past its EBR grace period — and hand the block back to the pool.
+inline void destroy_node(Node* node) noexcept {
+  if (node == nullptr) return;
+  util::ebr::pool_free(node, node->alloc_bytes());
+}
+
+/// ebr::retire deleter: recycle the victim's block.
+inline void recycle_node(void* raw) {
+  destroy_node(static_cast<Node*>(raw));
+}
+
+namespace detail {
+
+/// LT's per-node locks as a striped side table keyed by node address,
+/// so the shared node layout carries no mutex. Two nodes may collide on
+/// a stripe — that only serializes their publishes, never admits an
+/// invalid one — and publish_locked acquires stripes in index order,
+/// which keeps locking deadlock-free exactly like the old address
+/// order.
+inline constexpr std::size_t kLockStripes = 1024;  // power of two
+
+inline std::size_t lock_stripe(const void* node) noexcept {
+  auto hash = static_cast<std::uint64_t>(
+      reinterpret_cast<std::uintptr_t>(node) >> 6);
+  hash *= 0x9E3779B97F4A7C15ull;
+  return static_cast<std::size_t>((hash >> 32) & (kLockStripes - 1));
+}
+
+/// Cache-line-aligned so neighboring stripes never false-share.
+struct alignas(64) StripeMutex {
+  std::mutex mu;
+};
+
+inline std::mutex& stripe_lock(std::size_t stripe) noexcept {
+  static std::array<StripeMutex, kLockStripes> locks;
+  return locks[stripe].mu;
+}
+
+/// Prefetch a node's first key cache line; issued during the index
+/// descent so the line lands before the in-node search needs it.
+inline void prefetch_keys(const Node* node) noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(static_cast<const void*>(node->keys()));
+#endif
+}
+
+}  // namespace detail
 
 /// User keys live strictly between the head sentinel (Key min) and the
 /// rightmost node's kSentinelKey bound.
@@ -197,7 +399,7 @@ inline SearchResult search_predecessors(Node* head, int max_level, Key key) {
     for (int i = max_level - 1; i >= 0 && !restart; --i) {
       Node* x_next = nullptr;
       while (true) {
-        const std::uint64_t word = x->next[i].load_word();
+        const std::uint64_t word = x->next(i).load_word();
         if (util::is_marked(word)) {
           restart = true;
           break;
@@ -207,7 +409,13 @@ inline SearchResult search_predecessors(Node* head, int max_level, Key key) {
           restart = true;
           break;
         }
-        if (x_next->high_raw() >= key) break;
+        if (x_next->high_raw() >= key) {
+          // The cover candidate's keys get searched right after the
+          // descent lands; start the line toward L1 now, while the
+          // remaining levels still hide the latency.
+          if (i <= 1) detail::prefetch_keys(x_next);
+          break;
+        }
         x = x_next;
       }
       result.pa[i] = x;
@@ -226,10 +434,13 @@ inline SearchResult search_predecessors_tx(stm::Tx& tx, Node* head,
   for (int i = max_level - 1; i >= 0; --i) {
     Node* x_next = nullptr;
     while (true) {
-      const std::uint64_t word = x->next[i].tx_read(tx);
+      const std::uint64_t word = x->next(i).tx_read(tx);
       if (util::is_marked(word)) tx.abort();
       x_next = util::to_ptr<Node>(word);
-      if (x_next->high_raw() >= key) break;
+      if (x_next->high_raw() >= key) {
+        if (i <= 1) detail::prefetch_keys(x_next);
+        break;
+      }
       x = x_next;
     }
     result.pa[i] = x;
@@ -243,13 +454,14 @@ class LeapListBase {
   explicit LeapListBase(const Params& params) : params_(params) {
     assert(params_.max_level >= 1 && params_.max_level <= kMaxHeight);
     assert(params_.node_size >= 2);
+    assert(params_.node_size <= 0xFFFFFFFFull - 1);
     head_ = alloc_node(params_.max_level, std::numeric_limits<Key>::min());
     tail_ = alloc_node(params_.max_level, kSentinelKey);
     Node* first = alloc_node(params_.max_level, kSentinelKey);
     for (int i = 0; i < params_.max_level; ++i) {
-      head_->next[i].init(util::to_word(first));
-      first->next[i].init(util::to_word(tail_));
-      tail_->next[i].init(0);
+      head_->next(i).init(util::to_word(first));
+      first->next(i).init(util::to_word(tail_));
+      tail_->next(i).init(0);
     }
   }
 
@@ -257,11 +469,11 @@ class LeapListBase {
     Node* cur = head_;
     while (cur != tail_) {
       Node* nxt =
-          util::to_ptr<Node>(util::without_mark(cur->next[0].load_word()));
-      delete cur;
+          util::to_ptr<Node>(util::without_mark(cur->next(0).load_word()));
+      destroy_node(cur);
       cur = nxt;
     }
-    delete tail_;
+    destroy_node(tail_);
     util::ebr::collect();
   }
 
@@ -278,11 +490,11 @@ class LeapListBase {
     for (const KV& kv : unique) assert_user_key(kv.key);
     // Drop the existing data chain.
     Node* cur =
-        util::to_ptr<Node>(util::without_mark(head_->next[0].load_word()));
+        util::to_ptr<Node>(util::without_mark(head_->next(0).load_word()));
     while (cur != tail_) {
       Node* nxt =
-          util::to_ptr<Node>(util::without_mark(cur->next[0].load_word()));
-      delete cur;
+          util::to_ptr<Node>(util::without_mark(cur->next(0).load_word()));
+      destroy_node(cur);
       cur = nxt;
     }
     const std::size_t fill = std::max<std::size_t>(1, params_.node_size / 2);
@@ -294,8 +506,7 @@ class LeapListBase {
       const std::size_t take = std::min(fill, unique.size() - offset);
       Node* node = alloc_node(random_level(), unique[offset + take - 1].key);
       for (std::size_t j = 0; j < take; ++j) {
-        node->keys.push_back(unique[offset + j].key);
-        node->values.push_back(unique[offset + j].value);
+        node->append(unique[offset + j].key, unique[offset + j].value);
       }
       nodes.push_back(node);
       offset += take;
@@ -306,12 +517,12 @@ class LeapListBase {
     nodes.back()->high = kSentinelKey;
     for (Node* node : nodes) {
       for (int i = 0; i < node->level; ++i) {
-        last[i]->next[i].init(util::to_word(node));
+        last[i]->next(i).init(util::to_word(node));
         last[i] = node;
       }
     }
     for (int i = 0; i < params_.max_level; ++i) {
-      last[i]->next[i].init(util::to_word(tail_));
+      last[i]->next(i).init(util::to_word(tail_));
     }
   }
 
@@ -322,10 +533,11 @@ class LeapListBase {
     for (Node* n = data_next(head_); n != tail_; n = data_next(n)) {
       if (n->level < 1 || n->level > params_.max_level) return false;
       if (n->high <= prev_high) return false;
-      if (n->keys.size() != n->values.size()) return false;
-      for (std::size_t j = 0; j < n->keys.size(); ++j) {
-        if (n->keys[j] <= prev_high || n->keys[j] > n->high) return false;
-        if (j > 0 && n->keys[j] <= n->keys[j - 1]) return false;
+      if (n->count > n->capacity) return false;
+      const Key* keys = n->keys();
+      for (std::size_t j = 0; j < n->count; ++j) {
+        if (keys[j] <= prev_high || keys[j] > n->high) return false;
+        if (j > 0 && keys[j] <= keys[j - 1]) return false;
       }
       prev_high = n->high;
       last_data = n;
@@ -346,7 +558,7 @@ class LeapListBase {
   std::size_t size_slow() const {
     std::size_t total = 0;
     for (Node* n = data_next(head_); n != tail_; n = data_next(n)) {
-      total += n->keys.size();
+      total += n->count;
     }
     return total;
   }
@@ -361,8 +573,20 @@ class LeapListBase {
     bool inserted = false;
   };
 
+  /// THE single source of node capacity: every replacement outcome
+  /// fits in `node_size` slots — a non-split replacement holds at most
+  /// node_size pairs (plan_insert splits instead of overflowing), and
+  /// a split distributes node_size + 1 pairs as ceil/floor halves,
+  /// each ≤ node_size for node_size ≥ 2. alloc_node and the split
+  /// planner both size through here, so flat-block sizing cannot drift
+  /// from the planner (the seed re-derived capacity ad hoc in two
+  /// places).
+  std::uint32_t node_capacity() const {
+    return static_cast<std::uint32_t>(params_.node_size);
+  }
+
   Node* alloc_node(int level, Key high) const {
-    return new Node(params_.node_size + 1, level, high);
+    return make_node(node_capacity(), level, high);
   }
 
   int random_level() const {
@@ -371,50 +595,90 @@ class LeapListBase {
 
   /// Index of `key` in `n`, or -1.
   static int find_in(const Node* n, Key key) {
-    const auto it = std::lower_bound(n->keys.begin(), n->keys.end(), key);
-    if (it == n->keys.end() || *it != key) return -1;
-    return static_cast<int>(it - n->keys.begin());
+    const Key* keys = n->keys();
+    const std::size_t idx = detail::flat_lower_bound(keys, n->count, key);
+    if (idx == n->count || keys[idx] != key) return -1;
+    return static_cast<int>(idx);
   }
 
   /// Visit `n`'s pairs in [low, high] in key order; returns false when
   /// the visitor stopped the scan early. The engine never materializes
-  /// a vector here — accumulation is the visitor's business.
+  /// a vector here — accumulation is the visitor's business. The
+  /// in-range run [first, end) is resolved by two branchless searches,
+  /// so the per-pair loop carries no bound compare; a BulkVisitor
+  /// ingests the whole run in one call.
   template <typename F>
   static bool visit_node(const Node* n, Key low, Key high, F& fn,
                          std::size_t& count) {
-    auto it = std::lower_bound(n->keys.begin(), n->keys.end(), low);
-    for (; it != n->keys.end() && *it <= high; ++it) {
-      ++count;
-      if (!detail::visit_one(fn, *it, n->values[it - n->keys.begin()])) {
-        return false;
+    const Key* keys = n->keys();
+    const Value* values = n->values();
+    const std::size_t first = detail::flat_lower_bound(keys, n->count, low);
+    const std::size_t end =
+        n->high_raw() <= high ? n->count
+                              : detail::flat_upper_bound(keys, n->count, high);
+    if constexpr (detail::BulkVisitor<F>) {
+      if (end > first) {
+        fn.append_run(keys + first, values + first, end - first);
+        count += end - first;
       }
+      return true;
+    } else {
+      for (std::size_t i = first; i < end; ++i) {
+        ++count;
+        if (!detail::visit_one(fn, keys[i], values[i])) return false;
+      }
+      return true;
     }
-    return true;
   }
 
   Replacement plan_insert(Node* n, Key key, Value value) const {
     Replacement plan;
-    const int idx = find_in(n, key);
-    if (idx >= 0) {
+    const Key* skeys = n->keys();
+    const Value* svalues = n->values();
+    const std::uint32_t count = n->count;
+    const std::size_t pos = detail::flat_lower_bound(skeys, count, key);
+    if (pos < count && skeys[pos] == key) {
+      // Same key: replacement with the value swapped.
       Node* n1 = alloc_node(n->level, n->high);
-      n1->keys = n->keys;
-      n1->values = n->values;
-      n1->values[idx] = value;
+      std::copy(skeys, skeys + count, n1->keys());
+      std::copy(svalues, svalues + count, n1->values());
+      n1->values()[pos] = value;
+      n1->count = count;
       plan.n1 = n1;
       plan.link_top = n->level;
       return plan;
     }
-    if (n->keys.size() < params_.node_size) {
+    // Copy the merged sequence — skeys[0, pos) + {key} + skeys[pos,
+    // count) — for merged indexes [from, to) into `dst`.
+    const auto copy_merged = [&](Node* dst, std::size_t from,
+                                 std::size_t to) {
+      Key* dkeys = dst->keys();
+      Value* dvalues = dst->values();
+      std::size_t out = 0;
+      if (from < pos) {
+        const std::size_t end = std::min(to, pos);
+        std::copy(skeys + from, skeys + end, dkeys);
+        std::copy(svalues + from, svalues + end, dvalues);
+        out = end - from;
+      }
+      if (pos >= from && pos < to) {
+        dkeys[out] = key;
+        dvalues[out] = value;
+        ++out;
+      }
+      const std::size_t tail_from = std::max(from, pos + 1);
+      if (tail_from < to) {
+        std::copy(skeys + (tail_from - 1), skeys + (to - 1), dkeys + out);
+        std::copy(svalues + (tail_from - 1), svalues + (to - 1),
+                  dvalues + out);
+        out += to - tail_from;
+      }
+      assert(out == to - from && out <= dst->capacity);
+      dst->count = static_cast<std::uint32_t>(out);
+    };
+    if (count < params_.node_size) {
       Node* n1 = alloc_node(n->level, n->high);
-      const auto pos = std::lower_bound(n->keys.begin(), n->keys.end(), key);
-      const std::size_t split = pos - n->keys.begin();
-      n1->keys.assign(n->keys.begin(), pos);
-      n1->keys.push_back(key);
-      n1->keys.insert(n1->keys.end(), pos, n->keys.end());
-      n1->values.assign(n->values.begin(), n->values.begin() + split);
-      n1->values.push_back(value);
-      n1->values.insert(n1->values.end(), n->values.begin() + split,
-                        n->values.end());
+      copy_merged(n1, 0, count + 1);
       plan.n1 = n1;
       plan.link_top = n->level;
       plan.inserted = true;
@@ -422,25 +686,13 @@ class LeapListBase {
     }
     // Full node: split into n1 (new left, fresh level) and n2 (right,
     // inheriting n's level and high — and with it the sentinel role).
-    std::vector<Key> keys;
-    std::vector<Value> values;
-    keys.reserve(n->keys.size() + 1);
-    values.reserve(n->keys.size() + 1);
-    const auto pos = std::lower_bound(n->keys.begin(), n->keys.end(), key);
-    const std::size_t split = pos - n->keys.begin();
-    keys.assign(n->keys.begin(), pos);
-    keys.push_back(key);
-    keys.insert(keys.end(), pos, n->keys.end());
-    values.assign(n->values.begin(), n->values.begin() + split);
-    values.push_back(value);
-    values.insert(values.end(), n->values.begin() + split, n->values.end());
-    const std::size_t left = (keys.size() + 1) / 2;
-    Node* n1 = alloc_node(random_level(), keys[left - 1]);
+    const std::size_t total = count + 1;
+    const std::size_t left = (total + 1) / 2;
+    Node* n1 = alloc_node(random_level(), 0);
     Node* n2 = alloc_node(n->level, n->high);
-    n1->keys.assign(keys.begin(), keys.begin() + left);
-    n1->values.assign(values.begin(), values.begin() + left);
-    n2->keys.assign(keys.begin() + left, keys.end());
-    n2->values.assign(values.begin() + left, values.end());
+    copy_merged(n1, 0, left);
+    copy_merged(n2, left, total);
+    n1->high = n1->keys()[n1->count - 1];
     plan.n1 = n1;
     plan.n2 = n2;
     plan.link_top = std::max(n1->level, n->level);
@@ -453,16 +705,20 @@ class LeapListBase {
     const int idx = find_in(n, key);
     if (idx < 0) return nullptr;
     Node* n1 = alloc_node(n->level, n->high);
-    n1->keys = n->keys;
-    n1->values = n->values;
-    n1->keys.erase(n1->keys.begin() + idx);
-    n1->values.erase(n1->values.begin() + idx);
+    const auto pos = static_cast<std::size_t>(idx);
+    const Key* skeys = n->keys();
+    const Value* svalues = n->values();
+    std::copy(skeys, skeys + pos, n1->keys());
+    std::copy(skeys + pos + 1, skeys + n->count, n1->keys() + pos);
+    std::copy(svalues, svalues + pos, n1->values());
+    std::copy(svalues + pos + 1, svalues + n->count, n1->values() + pos);
+    n1->count = n->count - 1;
     return n1;
   }
 
   static void discard(Replacement& plan) {
-    delete plan.n1;
-    delete plan.n2;
+    destroy_node(plan.n1);
+    destroy_node(plan.n2);
     plan.n1 = plan.n2 = nullptr;
   }
 
@@ -490,24 +746,24 @@ class LeapListBase {
     Node* n2 = plan.n2;
     if (n2 != nullptr) {
       for (int i = 0; i < n2->level; ++i) {
-        publish_word(tx, n2->next[i], n->next[i].tx_read(tx));
+        publish_word(tx, n2->next(i), n->next(i).tx_read(tx));
       }
       for (int i = 0; i < n1->level; ++i) {
-        publish_word(tx, n1->next[i],
+        publish_word(tx, n1->next(i),
                      i < n2->level ? util::to_word(n2)
                                    : util::to_word(sr.na[i]));
       }
     } else {
       for (int i = 0; i < n1->level; ++i) {
-        publish_word(tx, n1->next[i], n->next[i].tx_read(tx));
+        publish_word(tx, n1->next(i), n->next(i).tx_read(tx));
       }
     }
     for (int i = 0; i < plan.link_top; ++i) {
       Node* target = i < n1->level ? n1 : n2;
-      sr.pa[i]->next[i].tx_write(tx, util::to_word(target));
+      sr.pa[i]->next(i).tx_write(tx, util::to_word(target));
     }
     for (int i = 0; i < n->level; ++i) {
-      n->next[i].tx_write(tx, util::with_mark(n->next[i].tx_read(tx)));
+      n->next(i).tx_write(tx, util::with_mark(n->next(i).tx_read(tx)));
     }
   }
 
@@ -520,7 +776,7 @@ class LeapListBase {
                           int top) {
     for (int i = 0; i < top; ++i) {
       if (i < n->level && sr.na[i] != n) return false;
-      if (sr.pa[i]->next[i].tx_read(tx) != util::to_word(sr.na[i])) {
+      if (sr.pa[i]->next(i).tx_read(tx) != util::to_word(sr.na[i])) {
         return false;
       }
     }
@@ -555,12 +811,12 @@ class LeapListBase {
   /// True when the open transaction already buffered a write to any
   /// word this update's swap would read or overwrite.
   bool window_self_dirty(const stm::Tx& tx, const SearchResult& sr,
-                         const Node* n) const {
+                         Node* n) const {
     for (int i = 0; i < n->level; ++i) {
-      if (tx.has_write(n->next[i])) return true;
+      if (tx.has_write(n->next(i))) return true;
     }
     for (int i = 0; i < params_.max_level; ++i) {
-      if (tx.has_write(sr.pa[i]->next[i])) return true;
+      if (tx.has_write(sr.pa[i]->next(i))) return true;
     }
     return false;
   }
@@ -573,12 +829,12 @@ class LeapListBase {
     Node* n1 = plan.n1;
     Node* n2 = plan.n2;
     tx.defer_on_abort([n1, n2] {
-      delete n1;
-      delete n2;
+      destroy_node(n1);
+      destroy_node(n2);
     });
     tx.defer_on_commit([victim] {
       victim->live.store(false, std::memory_order_release);
-      util::ebr::retire(victim);
+      util::ebr::retire(victim, &recycle_node);
     });
   }
 
@@ -621,7 +877,7 @@ class LeapListBase {
     if (n1 == nullptr) {
       // Absent. Pin the cover node's identity so the absence is part of
       // the read set (the instrumented search did this implicitly).
-      if (hybrid) (void)sr.pa[0]->next[0].tx_read(tx);
+      if (hybrid) (void)sr.pa[0]->next(0).tx_read(tx);
       return false;
     }
     Replacement plan;
@@ -640,12 +896,12 @@ class LeapListBase {
       // Replacing the cover node rewrites its (unique) bottom-level
       // predecessor word, so one clean hop pins the node's identity and
       // immutable content makes the read valid.
-      if (!tx.has_write(sr.pa[0]->next[0])) {
-        (void)sr.pa[0]->next[0].tx_read(tx);
+      if (!tx.has_write(sr.pa[0]->next(0))) {
+        (void)sr.pa[0]->next(0).tx_read(tx);
         const Node* n = sr.na[0];
         const int idx = find_in(n, key);
         if (idx < 0) return std::nullopt;
-        return n->values[idx];
+        return n->values()[idx];
       }
     }
     const SearchResult sr =
@@ -653,7 +909,7 @@ class LeapListBase {
     const Node* n = sr.na[0];
     const int idx = find_in(n, key);
     if (idx < 0) return std::nullopt;
-    return n->values[idx];
+    return n->values()[idx];
   }
 
   /// Visitor-driven in-transaction range scan. The visitor runs during
@@ -673,13 +929,13 @@ class LeapListBase {
       Node* x = sr.pa[0];
       bool self_dirty = false;
       while (true) {
-        if (tx.has_write(x->next[0])) {
+        if (tx.has_write(x->next(0))) {
           // The chain ahead was reshaped by this transaction; only the
           // instrumented walk sees the buffered pointers.
           self_dirty = true;
           break;
         }
-        const std::uint64_t word = x->next[0].tx_read(tx);
+        const std::uint64_t word = x->next(0).tx_read(tx);
         if (util::is_marked(word)) {
           // Unreachable by construction (a pre-begin mark implies the
           // hop word was re-pointed; a post-begin mark aborts the
@@ -702,7 +958,7 @@ class LeapListBase {
     while (true) {
       if (!visit_node(n, low, high, fn, count)) break;
       if (n->high_raw() >= high) break;
-      const std::uint64_t word = n->next[0].tx_read(tx);
+      const std::uint64_t word = n->next(0).tx_read(tx);
       if (util::is_marked(word)) tx.abort();
       n = util::to_ptr<Node>(word);
     }
@@ -710,7 +966,7 @@ class LeapListBase {
   }
 
   Node* data_next(const Node* n, int level = 0) const {
-    return util::to_ptr<Node>(util::without_mark(n->next[level].load_word()));
+    return util::to_ptr<Node>(util::without_mark(n->next(level).load_word()));
   }
 
   Params params_;
@@ -765,7 +1021,7 @@ class LeapListLT : public LeapListBase {
     const Node* n = sr.na[0];
     const int idx = find_in(n, key);
     if (idx < 0) return std::nullopt;
-    return n->values[idx];
+    return n->values()[idx];
   }
 
   /// Linearizable range visitation: one transactional read per node hop
@@ -811,7 +1067,7 @@ class LeapListLT : public LeapListBase {
 
  private:
   static Node* hop(stm::Tx& tx, Node* from, bool& restart) {
-    const std::uint64_t word = from->next[0].tx_read(tx);
+    const std::uint64_t word = from->next(0).tx_read(tx);
     if (util::is_marked(word)) {
       restart = true;
       return nullptr;
@@ -821,20 +1077,24 @@ class LeapListLT : public LeapListBase {
 
   bool publish_locked(const SearchResult& sr, Node* n,
                       const Replacement& plan) {
-    std::array<Node*, kMaxHeight + 1> targets;
+    // Stripe set for the victim + predecessors, deduplicated and taken
+    // in ascending index order (the stripe table's global lock order).
+    std::array<std::size_t, kMaxHeight + 1> stripes;
     int count = 0;
-    targets[count++] = n;
-    for (int i = 0; i < plan.link_top; ++i) targets[count++] = sr.pa[i];
-    std::sort(targets.begin(), targets.begin() + count);
+    stripes[count++] = detail::lock_stripe(n);
+    for (int i = 0; i < plan.link_top; ++i) {
+      stripes[count++] = detail::lock_stripe(sr.pa[i]);
+    }
+    std::sort(stripes.begin(), stripes.begin() + count);
     count = static_cast<int>(
-        std::unique(targets.begin(), targets.begin() + count) -
-        targets.begin());
-    for (int i = 0; i < count; ++i) targets[i]->lock.lock();
+        std::unique(stripes.begin(), stripes.begin() + count) -
+        stripes.begin());
+    for (int i = 0; i < count; ++i) detail::stripe_lock(stripes[i]).lock();
     bool valid = n->live.load(std::memory_order_acquire);
     for (int i = 0; valid && i < plan.link_top; ++i) {
       if (i < n->level && sr.na[i] != n) valid = false;
       if (valid &&
-          sr.pa[i]->next[i].load_word() != util::to_word(sr.na[i])) {
+          sr.pa[i]->next(i).load_word() != util::to_word(sr.na[i])) {
         valid = false;
       }
     }
@@ -843,8 +1103,10 @@ class LeapListLT : public LeapListBase {
       stm::atomically(tx, [&](stm::Tx& t) { apply_swap(t, sr, n, plan); });
       n->live.store(false, std::memory_order_release);
     }
-    for (int i = count - 1; i >= 0; --i) targets[i]->lock.unlock();
-    if (valid) util::ebr::retire(n);
+    for (int i = count - 1; i >= 0; --i) {
+      detail::stripe_lock(stripes[i]).unlock();
+    }
+    if (valid) util::ebr::retire(n, &recycle_node);
     return valid;
   }
 };
@@ -873,7 +1135,7 @@ class LeapListCOP : public LeapListBase {
       });
       if (valid) {
         n->live.store(false, std::memory_order_release);
-        util::ebr::retire(n);
+        util::ebr::retire(n, &recycle_node);
         return plan.inserted;
       }
       discard(plan);
@@ -900,7 +1162,7 @@ class LeapListCOP : public LeapListBase {
       });
       if (valid) {
         n->live.store(false, std::memory_order_release);
-        util::ebr::retire(n);
+        util::ebr::retire(n, &recycle_node);
         return true;
       }
       discard(plan);
@@ -918,10 +1180,10 @@ class LeapListCOP : public LeapListBase {
       std::optional<Value> result;
       stm::atomically(tx, [&](stm::Tx& t) {
         result.reset();
-        valid = sr.pa[0]->next[0].tx_read(t) == util::to_word(n);
+        valid = sr.pa[0]->next(0).tx_read(t) == util::to_word(n);
         if (!valid) return;
         const int idx = find_in(n, key);
-        if (idx >= 0) result = n->values[idx];
+        if (idx >= 0) result = n->values()[idx];
       });
       if (valid) return result;
     }
@@ -946,12 +1208,12 @@ class LeapListCOP : public LeapListBase {
       Node* x = sr.pa[0];
       bool stale = false;
       while (true) {
-        const std::uint64_t word = x->next[0].load_word();
+        const std::uint64_t word = x->next(0).load_word();
         if (util::is_marked(word)) {
           stale = true;
           break;
         }
-        hops.emplace_back(&x->next[0], word);
+        hops.emplace_back(&x->next(0), word);
         Node* n = util::to_ptr<Node>(word);
         if (!visit_node(n, low, high, fn, count)) break;
         if (n->high_raw() >= high) break;
@@ -1069,18 +1331,26 @@ class LeapListRW : public LeapListBase {
     Node* n = sr.na[0];
     const int idx = find_in(n, key);
     if (idx >= 0) {
-      n->values[idx] = value;
+      n->values()[idx] = value;
       return false;
     }
-    if (n->keys.size() < params_.node_size) {
-      const auto pos = std::lower_bound(n->keys.begin(), n->keys.end(), key);
-      n->values.insert(n->values.begin() + (pos - n->keys.begin()), value);
-      n->keys.insert(pos, key);
+    if (n->count < params_.node_size) {
+      // In-place gap insert (exclusive lock, no published-immutability
+      // contract for RW).
+      Key* keys = n->keys();
+      Value* values = n->values();
+      const std::size_t pos = detail::flat_lower_bound(keys, n->count, key);
+      std::copy_backward(keys + pos, keys + n->count, keys + n->count + 1);
+      std::copy_backward(values + pos, values + n->count,
+                         values + n->count + 1);
+      keys[pos] = key;
+      values[pos] = value;
+      ++n->count;
       return true;
     }
     const Replacement plan = plan_insert(n, key, value);
     apply_swap_plain(sr, n, plan);
-    delete n;
+    destroy_node(n);
     return true;
   }
 
@@ -1090,8 +1360,11 @@ class LeapListRW : public LeapListBase {
     Node* n = sr.na[0];
     const int idx = find_in(n, key);
     if (idx < 0) return false;
-    n->keys.erase(n->keys.begin() + idx);
-    n->values.erase(n->values.begin() + idx);
+    Key* keys = n->keys();
+    Value* values = n->values();
+    std::copy(keys + idx + 1, keys + n->count, keys + idx);
+    std::copy(values + idx + 1, values + n->count, values + idx);
+    --n->count;
     return true;
   }
 
@@ -1101,7 +1374,7 @@ class LeapListRW : public LeapListBase {
     const Node* n = sr.na[0];
     const int idx = find_in(n, key);
     if (idx < 0) return std::nullopt;
-    return n->values[idx];
+    return n->values()[idx];
   }
 
   /// Range visitation under the shared lock: no restarts ever happen,
@@ -1133,20 +1406,20 @@ class LeapListRW : public LeapListBase {
     Node* n2 = plan.n2;
     if (n2 != nullptr) {
       for (int i = 0; i < n2->level; ++i) {
-        n2->next[i].init(n->next[i].load_word());
+        n2->next(i).init(n->next(i).load_word());
       }
       for (int i = 0; i < n1->level; ++i) {
-        n1->next[i].init(i < n2->level ? util::to_word(n2)
+        n1->next(i).init(i < n2->level ? util::to_word(n2)
                                        : util::to_word(sr.na[i]));
       }
     } else {
       for (int i = 0; i < n1->level; ++i) {
-        n1->next[i].init(n->next[i].load_word());
+        n1->next(i).init(n->next(i).load_word());
       }
     }
     for (int i = 0; i < plan.link_top; ++i) {
       Node* target = i < n1->level ? n1 : n2;
-      sr.pa[i]->next[i].store(util::to_word(target));
+      sr.pa[i]->next(i).store(util::to_word(target));
     }
   }
 

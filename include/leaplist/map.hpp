@@ -32,8 +32,10 @@
 // consistent snapshot for the leap-list policies.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <optional>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -269,7 +271,11 @@ class Map {
 
  private:
   /// Word-level visitor decoding into the user's typed visitor,
-  /// forwarding early exit and restart notifications.
+  /// forwarding early exit and restart notifications. When the typed
+  /// visitor bulk-ingests (append_run, e.g. leap::append_to), whole
+  /// in-range runs flow through in decoded chunks — tight codec loops
+  /// over stack arrays instead of a per-pair virtual-ish dispatch —
+  /// which keeps the engine's bulk fast path intact across the facade.
   template <typename F>
   struct Decoded {
     F& fn;
@@ -277,6 +283,35 @@ class Map {
       return core::detail::visit_one(fn, KeyCodec::decode(key),
                                      ValueCodec::decode(value));
     }
+
+    void append_run(const core::Key* keys, const core::Value* values,
+                    std::size_t n)
+      requires requires(F& f, const K* dk, const V* dv, std::size_t m) {
+        f.append_run(dk, dv, m);
+      } && std::default_initializable<K> && std::default_initializable<V>
+    {
+      // Identity codecs (the default int64 -> int64 map) pass the
+      // engine's SoA slices straight through.
+      if constexpr (std::is_same_v<K, core::Key> &&
+                    std::is_same_v<V, core::Value> &&
+                    std::is_same_v<KeyCodec, codec::Default<K>> &&
+                    std::is_same_v<ValueCodec, codec::BitcastValue<V>>) {
+        fn.append_run(keys, values, n);
+        return;
+      }
+      constexpr std::size_t kChunk = 128;
+      K dkeys[kChunk];
+      V dvalues[kChunk];
+      for (std::size_t at = 0; at < n; at += kChunk) {
+        const std::size_t len = std::min(kChunk, n - at);
+        for (std::size_t i = 0; i < len; ++i) {
+          dkeys[i] = KeyCodec::decode(keys[at + i]);
+          dvalues[i] = ValueCodec::decode(values[at + i]);
+        }
+        fn.append_run(dkeys, dvalues, len);
+      }
+    }
+
     void on_restart() { core::detail::visit_restart(fn); }
   };
 

@@ -19,9 +19,12 @@
 #include <algorithm>
 #include <atomic>
 #include <cassert>
+#include <cstddef>
 #include <cstdint>
 #include <limits>
+#include <new>
 #include <optional>
+#include <type_traits>
 #include <vector>
 
 #include "leaplist/leaplist.hpp"
@@ -38,16 +41,19 @@ using core::Params;
 using core::Value;
 
 class SkipListCAS {
+  /// One flat allocation per node — header plus a trailing array of
+  /// `level` marked next words — on the same util::ebr recycling pool
+  /// the leap list uses, so the fig17 comparison prices allocation the
+  /// same way on both sides.
   struct Node {
     Node(Key key_in, Value value_in, int level_in)
         : key(key_in),
           value(value_in),
           level(level_in),
-          links_remaining(level_in),
-          next(level_in) {}
+          links_remaining(level_in) {}
     const Key key;
     std::atomic<Value> value;
-    const int level;
+    const std::int32_t level;
     /// Linked levels not yet unlinked. Starts at `level`; each
     /// successful snip gives back one, an insert that bails before
     /// fully linking gives back the never-linked levels; whoever drops
@@ -55,17 +61,59 @@ class SkipListCAS {
     /// from then on — only already-pinned traversals can still hold
     /// it, which is exactly what EBR covers).
     std::atomic<int> links_remaining;
-    std::vector<std::atomic<std::uint64_t>> next;  // marked words
+
+    /// Trailing marked-pointer word for level `i`.
+    std::atomic<std::uint64_t>& next(int i) noexcept {
+      assert(i >= 0 && i < level);
+      return reinterpret_cast<std::atomic<std::uint64_t>*>(
+          reinterpret_cast<std::byte*>(this) + sizeof(Node))[i];
+    }
+
+    const std::atomic<std::uint64_t>& next(int i) const noexcept {
+      assert(i >= 0 && i < level);
+      return reinterpret_cast<const std::atomic<std::uint64_t>*>(
+          reinterpret_cast<const std::byte*>(this) + sizeof(Node))[i];
+    }
+
+    static std::size_t bytes_for(int level) noexcept {
+      return sizeof(Node) + static_cast<std::size_t>(level) *
+                                sizeof(std::atomic<std::uint64_t>);
+    }
   };
+
+  static_assert(sizeof(Node) % alignof(std::atomic<std::uint64_t>) == 0,
+                "trailing next words start aligned");
+  static_assert(std::is_trivially_destructible_v<Node>);
+
+  static Node* make_node(Key key, Value value, int level) {
+    void* raw = util::ebr::pool_alloc(Node::bytes_for(level));
+    Node* node = new (raw) Node(key, value, level);
+    auto* next = reinterpret_cast<std::atomic<std::uint64_t>*>(
+        reinterpret_cast<std::byte*>(raw) + sizeof(Node));
+    for (int i = 0; i < level; ++i) {
+      new (next + i) std::atomic<std::uint64_t>(0);
+    }
+    return node;
+  }
+
+  static void destroy_node(Node* node) noexcept {
+    if (node != nullptr) {
+      util::ebr::pool_free(node, Node::bytes_for(node->level));
+    }
+  }
+
+  static void recycle_node(void* raw) {
+    destroy_node(static_cast<Node*>(raw));
+  }
 
  public:
   explicit SkipListCAS(const Params& params)
       : max_level_(params.max_level) {
     assert(max_level_ >= 1 && max_level_ <= core::kMaxHeight);
-    head_ = new Node(std::numeric_limits<Key>::min(), 0, max_level_);
-    tail_ = new Node(std::numeric_limits<Key>::max(), 0, max_level_);
+    head_ = make_node(std::numeric_limits<Key>::min(), 0, max_level_);
+    tail_ = make_node(std::numeric_limits<Key>::max(), 0, max_level_);
     for (int i = 0; i < max_level_; ++i) {
-      head_->next[i].store(util::to_word(tail_), std::memory_order_relaxed);
+      head_->next(i).store(util::to_word(tail_), std::memory_order_relaxed);
     }
   }
 
@@ -76,7 +124,7 @@ class SkipListCAS {
     std::vector<Node*> linked;
     const auto next_of = [](const Node* n, int i) {
       return util::to_ptr<Node>(
-          util::without_mark(n->next[i].load(std::memory_order_acquire)));
+          util::without_mark(n->next(i).load(std::memory_order_acquire)));
     };
     for (int i = max_level_ - 1; i >= 0; --i) {
       for (Node* cur = next_of(head_, i); cur != tail_;
@@ -86,9 +134,9 @@ class SkipListCAS {
     }
     std::sort(linked.begin(), linked.end());
     linked.erase(std::unique(linked.begin(), linked.end()), linked.end());
-    for (Node* node : linked) delete node;
-    delete head_;
-    delete tail_;
+    for (Node* node : linked) destroy_node(node);
+    destroy_node(head_);
+    destroy_node(tail_);
     util::ebr::collect();
   }
 
@@ -99,15 +147,15 @@ class SkipListCAS {
     std::array<Node*, core::kMaxHeight> last;
     last.fill(head_);
     for (const KV& kv : core::sorted_unique(pairs)) {
-      Node* node = new Node(kv.key, kv.value, random_level());
+      Node* node = make_node(kv.key, kv.value, random_level());
       for (int i = 0; i < node->level; ++i) {
-        last[i]->next[i].store(util::to_word(node),
+        last[i]->next(i).store(util::to_word(node),
                                std::memory_order_relaxed);
         last[i] = node;
       }
     }
     for (int i = 0; i < max_level_; ++i) {
-      last[i]->next[i].store(util::to_word(tail_),
+      last[i]->next(i).store(util::to_word(tail_),
                              std::memory_order_relaxed);
     }
   }
@@ -121,32 +169,32 @@ class SkipListCAS {
         succs[0]->value.store(value, std::memory_order_release);
         return false;
       }
-      Node* node = new Node(key, value, random_level());
+      Node* node = make_node(key, value, random_level());
       for (int i = 0; i < node->level; ++i) {
-        node->next[i].store(util::to_word(succs[i]),
+        node->next(i).store(util::to_word(succs[i]),
                             std::memory_order_relaxed);
       }
       std::uint64_t expected = util::to_word(succs[0]);
-      if (!preds[0]->next[0].compare_exchange_strong(
+      if (!preds[0]->next(0).compare_exchange_strong(
               expected, util::to_word(node), std::memory_order_acq_rel)) {
-        delete node;  // never published; retry from scratch
+        destroy_node(node);  // never published; retry from scratch
         continue;
       }
       for (int i = 1; i < node->level; ++i) {
         while (true) {
-          std::uint64_t own = node->next[i].load(std::memory_order_acquire);
+          std::uint64_t own = node->next(i).load(std::memory_order_acquire);
           if (util::is_marked(own)) {
             // Concurrently erased; levels i.. were never linked.
             give_back_links(node, node->level - i);
             return true;
           }
           if (util::to_ptr<Node>(own) != succs[i] &&
-              !node->next[i].compare_exchange_strong(
+              !node->next(i).compare_exchange_strong(
                   own, util::to_word(succs[i]), std::memory_order_acq_rel)) {
             continue;
           }
           std::uint64_t want = util::to_word(succs[i]);
-          if (preds[i]->next[i].compare_exchange_strong(
+          if (preds[i]->next(i).compare_exchange_strong(
                   want, util::to_word(node), std::memory_order_acq_rel)) {
             break;
           }
@@ -169,16 +217,16 @@ class SkipListCAS {
     if (!find(key, preds, succs)) return false;
     Node* victim = succs[0];
     for (int i = victim->level - 1; i >= 1; --i) {
-      std::uint64_t w = victim->next[i].load(std::memory_order_acquire);
+      std::uint64_t w = victim->next(i).load(std::memory_order_acquire);
       while (!util::is_marked(w)) {
-        victim->next[i].compare_exchange_weak(w, util::with_mark(w),
+        victim->next(i).compare_exchange_weak(w, util::with_mark(w),
                                               std::memory_order_acq_rel);
       }
     }
-    std::uint64_t w = victim->next[0].load(std::memory_order_acquire);
+    std::uint64_t w = victim->next(0).load(std::memory_order_acquire);
     while (true) {
       if (util::is_marked(w)) return false;  // lost the race
-      if (victim->next[0].compare_exchange_strong(
+      if (victim->next(0).compare_exchange_strong(
               w, util::with_mark(w), std::memory_order_acq_rel)) {
         find(key, preds, succs);  // physically unlink
         return true;
@@ -191,12 +239,12 @@ class SkipListCAS {
     Node* pred = head_;
     Node* curr = nullptr;
     for (int i = max_level_ - 1; i >= 0; --i) {
-      curr = util::to_ptr<Node>(pred->next[i].load(std::memory_order_acquire));
+      curr = util::to_ptr<Node>(pred->next(i).load(std::memory_order_acquire));
       while (true) {
-        std::uint64_t succw = curr->next[i].load(std::memory_order_acquire);
+        std::uint64_t succw = curr->next(i).load(std::memory_order_acquire);
         while (util::is_marked(succw)) {  // curr is logically deleted
           curr = util::to_ptr<Node>(succw);
-          succw = curr->next[i].load(std::memory_order_acquire);
+          succw = curr->next(i).load(std::memory_order_acquire);
         }
         if (curr->key < key) {
           pred = curr;
@@ -207,7 +255,7 @@ class SkipListCAS {
       }
     }
     if (curr->key != key) return std::nullopt;
-    if (util::is_marked(curr->next[0].load(std::memory_order_acquire))) {
+    if (util::is_marked(curr->next(0).load(std::memory_order_acquire))) {
       return std::nullopt;
     }
     return curr->value.load(std::memory_order_acquire);
@@ -224,18 +272,18 @@ class SkipListCAS {
     Node* pred = head_;
     for (int i = max_level_ - 1; i >= 0; --i) {
       Node* curr =
-          util::to_ptr<Node>(pred->next[i].load(std::memory_order_acquire));
+          util::to_ptr<Node>(pred->next(i).load(std::memory_order_acquire));
       while (curr->key < low) {
         pred = curr;
         curr =
-            util::to_ptr<Node>(curr->next[i].load(std::memory_order_acquire));
+            util::to_ptr<Node>(curr->next(i).load(std::memory_order_acquire));
       }
     }
     Node* curr =
-        util::to_ptr<Node>(pred->next[0].load(std::memory_order_acquire));
+        util::to_ptr<Node>(pred->next(0).load(std::memory_order_acquire));
     while (curr->key <= high && curr != tail_) {
       const std::uint64_t succw =
-          curr->next[0].load(std::memory_order_acquire);
+          curr->next(0).load(std::memory_order_acquire);
       if (curr->key >= low && !util::is_marked(succw)) {
         ++count;
         if (!core::detail::visit_one(
@@ -267,20 +315,20 @@ class SkipListCAS {
     Node* pred = head_;
     for (int i = max_level_ - 1; i >= 0; --i) {
       Node* curr =
-          util::to_ptr<Node>(pred->next[i].load(std::memory_order_acquire));
+          util::to_ptr<Node>(pred->next(i).load(std::memory_order_acquire));
       while (true) {
-        std::uint64_t succw = curr->next[i].load(std::memory_order_acquire);
+        std::uint64_t succw = curr->next(i).load(std::memory_order_acquire);
         while (util::is_marked(succw)) {  // snip the deleted node
           std::uint64_t expected = util::to_word(curr);
-          if (!pred->next[i].compare_exchange_strong(
+          if (!pred->next(i).compare_exchange_strong(
                   expected, util::without_mark(succw),
                   std::memory_order_acq_rel)) {
             goto retry;
           }
           give_back_links(curr, 1);
           curr = util::to_ptr<Node>(
-              pred->next[i].load(std::memory_order_acquire));
-          succw = curr->next[i].load(std::memory_order_acquire);
+              pred->next(i).load(std::memory_order_acquire));
+          succw = curr->next(i).load(std::memory_order_acquire);
         }
         if (curr->key < key) {
           pred = curr;
@@ -301,7 +349,7 @@ class SkipListCAS {
     if (count == 0) return;
     if (node->links_remaining.fetch_sub(count, std::memory_order_acq_rel) ==
         count) {
-      util::ebr::retire(node);
+      util::ebr::retire(node, &recycle_node);
     }
   }
 
@@ -315,33 +363,68 @@ class SkipListCAS {
 };
 
 class SkipListTM {
+  /// Flat node, same shape as SkipListCAS's: header + trailing TxField
+  /// next words, pool-backed.
   struct Node {
     Node(Key key_in, Value value_in, int level_in)
-        : key(key_in), value(value_in), level(level_in), next(level_in) {}
+        : key(key_in), value(value_in), level(level_in) {}
     const Key key;
     stm::TxField<Value> value;
-    const int level;
-    std::vector<stm::TxField<std::uint64_t>> next;
+    const std::int32_t level;
+
+    stm::TxField<std::uint64_t>& next(int i) noexcept {
+      assert(i >= 0 && i < level);
+      return reinterpret_cast<stm::TxField<std::uint64_t>*>(
+          reinterpret_cast<std::byte*>(this) + sizeof(Node))[i];
+    }
+
+    static std::size_t bytes_for(int level) noexcept {
+      return sizeof(Node) + static_cast<std::size_t>(level) *
+                                sizeof(stm::TxField<std::uint64_t>);
+    }
   };
+
+  static_assert(sizeof(Node) % alignof(stm::TxField<std::uint64_t>) == 0,
+                "trailing next words start aligned");
+  static_assert(std::is_trivially_destructible_v<Node>);
+
+  static Node* make_node(Key key, Value value, int level) {
+    void* raw = util::ebr::pool_alloc(Node::bytes_for(level));
+    Node* node = new (raw) Node(key, value, level);
+    stm::TxField<std::uint64_t>::construct_array(
+        reinterpret_cast<std::byte*>(raw) + sizeof(Node),
+        static_cast<std::size_t>(level));
+    return node;
+  }
+
+  static void destroy_node(Node* node) noexcept {
+    if (node != nullptr) {
+      util::ebr::pool_free(node, Node::bytes_for(node->level));
+    }
+  }
+
+  static void recycle_node(void* raw) {
+    destroy_node(static_cast<Node*>(raw));
+  }
 
  public:
   explicit SkipListTM(const Params& params) : max_level_(params.max_level) {
     assert(max_level_ >= 1 && max_level_ <= core::kMaxHeight);
-    head_ = new Node(std::numeric_limits<Key>::min(), 0, max_level_);
-    tail_ = new Node(std::numeric_limits<Key>::max(), 0, max_level_);
+    head_ = make_node(std::numeric_limits<Key>::min(), 0, max_level_);
+    tail_ = make_node(std::numeric_limits<Key>::max(), 0, max_level_);
     for (int i = 0; i < max_level_; ++i) {
-      head_->next[i].init(util::to_word(tail_));
+      head_->next(i).init(util::to_word(tail_));
     }
   }
 
   ~SkipListTM() {
     Node* cur = head_;
     while (cur != tail_) {
-      Node* nxt = util::to_ptr<Node>(cur->next[0].load_word());
-      delete cur;
+      Node* nxt = util::to_ptr<Node>(cur->next(0).load_word());
+      destroy_node(cur);
       cur = nxt;
     }
-    delete tail_;
+    destroy_node(tail_);
     util::ebr::collect();
   }
 
@@ -352,14 +435,14 @@ class SkipListTM {
     std::array<Node*, core::kMaxHeight> last;
     last.fill(head_);
     for (const KV& kv : core::sorted_unique(pairs)) {
-      Node* node = new Node(kv.key, kv.value, random_level());
+      Node* node = make_node(kv.key, kv.value, random_level());
       for (int i = 0; i < node->level; ++i) {
-        last[i]->next[i].init(util::to_word(node));
+        last[i]->next(i).init(util::to_word(node));
         last[i] = node;
       }
     }
     for (int i = 0; i < max_level_; ++i) {
-      last[i]->next[i].init(util::to_word(tail_));
+      last[i]->next(i).init(util::to_word(tail_));
     }
   }
 
@@ -370,7 +453,7 @@ class SkipListTM {
     Node* node = nullptr;
     bool inserted = false;
     stm::atomically(tx, [&](stm::Tx& t) {
-      delete node;
+      destroy_node(node);
       node = nullptr;
       Node* preds[core::kMaxHeight];
       Node* succs[core::kMaxHeight];
@@ -379,14 +462,14 @@ class SkipListTM {
         inserted = false;
         return;
       }
-      node = new Node(key, value, random_level());
+      node = make_node(key, value, random_level());
       for (int i = 0; i < node->level; ++i) {
         // init for raw visibility mid-publish, tx_write so the fresh
         // word carries the commit version (a version-0 word would slip
         // past older snapshots' read validation — opacity hole).
-        node->next[i].init(util::to_word(succs[i]));
-        node->next[i].tx_write(t, util::to_word(succs[i]));
-        preds[i]->next[i].tx_write(t, util::to_word(node));
+        node->next(i).init(util::to_word(succs[i]));
+        node->next(i).tx_write(t, util::to_word(succs[i]));
+        preds[i]->next(i).tx_write(t, util::to_word(node));
       }
       inserted = true;
     });
@@ -405,12 +488,12 @@ class SkipListTM {
       if (!find_tx(t, key, preds, succs)) return;
       Node* target = succs[0];
       for (int i = 0; i < target->level; ++i) {
-        preds[i]->next[i].tx_write(t, target->next[i].tx_read(t));
+        preds[i]->next(i).tx_write(t, target->next(i).tx_read(t));
       }
       victim = target;
     });
     if (victim == nullptr) return false;
-    util::ebr::retire(victim);
+    util::ebr::retire(victim, &recycle_node);
     return true;
   }
 
@@ -448,7 +531,7 @@ class SkipListTM {
         if (!core::detail::visit_one(fn, curr->key, curr->value.tx_read(t))) {
           break;
         }
-        curr = util::to_ptr<Node>(curr->next[0].tx_read(t));
+        curr = util::to_ptr<Node>(curr->next(0).tx_read(t));
       }
     });
     return count;
@@ -464,10 +547,10 @@ class SkipListTM {
   bool find_tx(stm::Tx& tx, Key key, Node** preds, Node** succs) const {
     Node* pred = head_;
     for (int i = max_level_ - 1; i >= 0; --i) {
-      Node* curr = util::to_ptr<Node>(pred->next[i].tx_read(tx));
+      Node* curr = util::to_ptr<Node>(pred->next(i).tx_read(tx));
       while (curr->key < key) {
         pred = curr;
-        curr = util::to_ptr<Node>(curr->next[i].tx_read(tx));
+        curr = util::to_ptr<Node>(curr->next(i).tx_read(tx));
       }
       preds[i] = pred;
       succs[i] = curr;

@@ -29,6 +29,7 @@
 #include <cstdint>
 #include <cstring>
 #include <functional>
+#include <new>
 #include <thread>
 #include <type_traits>
 #include <vector>
@@ -101,6 +102,9 @@ class TxFieldBase {
   std::atomic<std::uint64_t> value_{0};
   std::atomic<std::uint64_t> vlock_{0};
 };
+
+static_assert(std::is_trivially_destructible_v<TxFieldBase>,
+              "flat node layouts reclaim TxField arrays as raw blocks");
 
 class Tx {
  public:
@@ -381,6 +385,18 @@ class TxField : public TxFieldBase {
  public:
   TxField() noexcept = default;
   explicit TxField(T value) noexcept { init_word(encode(value)); }
+
+  /// Placement-construct `count` default fields (unlocked, version 0,
+  /// value 0 — the same state vector-backed storage produced) in `raw`,
+  /// which must be suitably aligned. Flat node layouts allocate their
+  /// next arrays inline in one block this way; TxField is trivially
+  /// destructible, so owners may reclaim the block without a teardown
+  /// pass.
+  static TxField* construct_array(void* raw, std::size_t count) {
+    auto* fields = static_cast<TxField*>(raw);
+    for (std::size_t i = 0; i < count; ++i) new (fields + i) TxField();
+    return fields;
+  }
 
   T load() const noexcept { return decode(load_word()); }
   void store(T value) noexcept { store_word(encode(value)); }

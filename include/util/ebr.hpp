@@ -61,4 +61,49 @@ void collect();
 /// Number of objects currently awaiting reclamation (approximate).
 std::size_t pending_count();
 
+// --- Node recycling pool ----------------------------------------------
+//
+// Per-thread size-class free lists fed by retirement: a structure
+// retires a node with a deleter that calls pool_free instead of
+// operator delete, and its next alloc takes the block back through
+// pool_alloc — steady-state updates stop paying the allocator at all.
+// Blocks are classed by size in 64-byte steps (a pooled block may be up
+// to 63 bytes larger than requested); sizes above the largest class
+// fall through to the heap. Lists are thread-local — a block is pushed
+// by whichever thread drains the retiring EBR bin and popped only by
+// that thread — so the pool itself needs no synchronization: the EBR
+// grace period is what makes a recycled block unreachable before reuse.
+//
+// Debug builds (without a sanitizer) poison recycled blocks with 0xEB
+// and verify the poison on reuse, so a stale write into a reclaimed
+// block aborts loudly. Under ASan the pool is pass-through — every
+// block really goes back to the heap — so use-after-free detection
+// keeps its full power.
+
+/// False when the pool is pass-through (ASan builds).
+bool pool_enabled() noexcept;
+
+/// A block of at least `bytes` — recycled when available, fresh
+/// otherwise. Never nullptr; pair with pool_free on the same `bytes`.
+void* pool_alloc(std::size_t bytes);
+
+/// Return a pool_alloc'd block (same `bytes`) to the calling thread's
+/// free lists. The caller must guarantee the block is unreachable:
+/// either never published, or retired and past its EBR grace period
+/// (the usual route is an ebr::retire deleter that ends here).
+void pool_free(void* block, std::size_t bytes) noexcept;
+
+/// Pool allocations served from a free list / fallen through to the
+/// heap, process-wide (bench counters).
+std::uint64_t pool_hits() noexcept;
+std::uint64_t pool_misses() noexcept;
+
+/// Free every block cached by the calling thread (thread exit does this
+/// automatically).
+void pool_trim() noexcept;
+
+/// Debug-poison check over the calling thread's cached blocks; always
+/// true in release or pass-through builds.
+bool pool_debug_verify() noexcept;
+
 }  // namespace leap::util::ebr

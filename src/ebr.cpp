@@ -3,8 +3,23 @@
 #include <atomic>
 #include <cassert>
 #include <cstddef>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <mutex>
+#include <new>
 #include <vector>
+
+#if defined(__SANITIZE_ADDRESS__)
+#define LEAP_POOL_PASSTHROUGH 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define LEAP_POOL_PASSTHROUGH 1
+#endif
+#endif
+#ifndef LEAP_POOL_PASSTHROUGH
+#define LEAP_POOL_PASSTHROUGH 0
+#endif
 
 namespace leap::util::ebr {
 
@@ -13,7 +28,10 @@ namespace detail {
 namespace {
 
 constexpr std::uint64_t kIdle = ~std::uint64_t{0};
-constexpr std::size_t kCollectThreshold = 256;
+// Epoch-advance attempt cadence (in retires). Small enough that bins
+// drain in bursts the recycling pool's per-class cache can absorb
+// (see kMaxCachedPerClass below) instead of overflowing to the heap.
+constexpr std::size_t kCollectThreshold = 64;
 
 struct Retired {
   void* ptr;
@@ -197,6 +215,158 @@ void collect() {
 
 std::size_t pending_count() {
   return detail::g_pending.load(std::memory_order_relaxed);
+}
+
+// --- Node recycling pool ----------------------------------------------
+
+namespace {
+
+constexpr std::size_t kClassStep = 64;
+constexpr std::size_t kNumClasses = 1024;  // blocks up to 64 KiB pooled
+// Must absorb a whole EBR bin drain (up to ~3 × kCollectThreshold
+// retires land at once) or the overflow leaks back to the heap and the
+// pool runs dry between bursts.
+constexpr std::size_t kMaxCachedPerClass = 512;
+constexpr unsigned char kPoisonByte = 0xEB;
+#ifdef NDEBUG
+constexpr bool kPoison = false;
+#else
+constexpr bool kPoison = !LEAP_POOL_PASSTHROUGH;
+#endif
+
+std::atomic<std::uint64_t> g_pool_hits{0};
+std::atomic<std::uint64_t> g_pool_misses{0};
+
+/// Size class of `bytes`, 1-based; 0 means "not pooled" (oversized).
+std::size_t class_of(std::size_t bytes) {
+  const std::size_t cls = (bytes + kClassStep - 1) / kClassStep;
+  return cls <= kNumClasses ? std::max<std::size_t>(cls, 1) : 0;
+}
+
+struct FreeBlock {
+  FreeBlock* next;
+};
+
+bool poison_intact(const FreeBlock* block, std::size_t cls) {
+  const auto* bytes = reinterpret_cast<const unsigned char*>(block);
+  for (std::size_t i = sizeof(FreeBlock); i < cls * kClassStep; ++i) {
+    if (bytes[i] != kPoisonByte) return false;
+  }
+  return true;
+}
+
+// The pool object lives behind a trivially-destructible thread_local
+// pointer pair, so pool_free stays callable during thread teardown
+// (e.g. a static structure destroyed after this thread's pool): once
+// the pool is destroyed, blocks fall through to the heap.
+struct ThreadPool;
+thread_local ThreadPool* g_tls_pool = nullptr;
+thread_local bool g_tls_pool_dead = false;
+
+struct ThreadPool {
+  FreeBlock* head[kNumClasses] = {};
+  std::uint32_t cached[kNumClasses] = {};
+
+  ThreadPool() { g_tls_pool = this; }
+
+  ~ThreadPool() {
+    trim();
+    g_tls_pool = nullptr;
+    g_tls_pool_dead = true;
+  }
+
+  void trim() {
+    for (std::size_t c = 0; c < kNumClasses; ++c) {
+      while (head[c] != nullptr) {
+        FreeBlock* block = head[c];
+        head[c] = block->next;
+        ::operator delete(block);
+      }
+      cached[c] = 0;
+    }
+  }
+};
+
+/// The calling thread's pool, or nullptr when it is already destroyed
+/// (never reconstruct after teardown).
+ThreadPool* tls_pool() {
+  if (g_tls_pool == nullptr && !g_tls_pool_dead) {
+    thread_local ThreadPool pool;
+    (void)pool;
+  }
+  return g_tls_pool;
+}
+
+}  // namespace
+
+bool pool_enabled() noexcept { return !LEAP_POOL_PASSTHROUGH; }
+
+void* pool_alloc(std::size_t bytes) {
+  const std::size_t cls = class_of(bytes);
+  if (LEAP_POOL_PASSTHROUGH || cls == 0) {
+    g_pool_misses.fetch_add(1, std::memory_order_relaxed);
+    return ::operator new(bytes);
+  }
+  ThreadPool* pool = tls_pool();
+  if (pool != nullptr && pool->head[cls - 1] != nullptr) {
+    FreeBlock* block = pool->head[cls - 1];
+    if (kPoison && !poison_intact(block, cls)) {
+      std::fprintf(stderr,
+                   "ebr::pool_alloc: poison damaged on a reclaimed block "
+                   "(stale write into retired memory)\n");
+      std::abort();
+    }
+    pool->head[cls - 1] = block->next;
+    --pool->cached[cls - 1];
+    g_pool_hits.fetch_add(1, std::memory_order_relaxed);
+    return block;
+  }
+  g_pool_misses.fetch_add(1, std::memory_order_relaxed);
+  // Allocate the rounded class size so blocks of one class interchange.
+  return ::operator new(cls * kClassStep);
+}
+
+void pool_free(void* block, std::size_t bytes) noexcept {
+  const std::size_t cls = class_of(bytes);
+  ThreadPool* pool = LEAP_POOL_PASSTHROUGH ? nullptr : tls_pool();
+  if (cls == 0 || pool == nullptr ||
+      pool->cached[cls - 1] >= kMaxCachedPerClass) {
+    ::operator delete(block);
+    return;
+  }
+  auto* free_block = static_cast<FreeBlock*>(block);
+  if (kPoison) {
+    std::memset(reinterpret_cast<unsigned char*>(block) + sizeof(FreeBlock),
+                kPoisonByte, cls * kClassStep - sizeof(FreeBlock));
+  }
+  free_block->next = pool->head[cls - 1];
+  pool->head[cls - 1] = free_block;
+  ++pool->cached[cls - 1];
+}
+
+std::uint64_t pool_hits() noexcept {
+  return g_pool_hits.load(std::memory_order_relaxed);
+}
+
+std::uint64_t pool_misses() noexcept {
+  return g_pool_misses.load(std::memory_order_relaxed);
+}
+
+void pool_trim() noexcept {
+  ThreadPool* pool = g_tls_pool;
+  if (pool != nullptr) pool->trim();
+}
+
+bool pool_debug_verify() noexcept {
+  ThreadPool* pool = g_tls_pool;
+  if (!kPoison || pool == nullptr) return true;
+  for (std::size_t c = 0; c < kNumClasses; ++c) {
+    for (FreeBlock* block = pool->head[c]; block != nullptr;
+         block = block->next) {
+      if (!poison_intact(block, c + 1)) return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace leap::util::ebr

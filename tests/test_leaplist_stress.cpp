@@ -17,6 +17,7 @@
 
 #include "leaplist/leaplist.hpp"
 #include "test_common.hpp"
+#include "util/ebr.hpp"
 #include "util/random.hpp"
 #include "util/spin_barrier.hpp"
 
@@ -110,6 +111,83 @@ void stress_variant(const char* name) {
   std::printf("  stress %s ok (%zu keys at rest)\n", name, all.size());
 }
 
+/// Recycling churn (PR 4): tiny nodes so nearly every insert splits and
+/// every erase shrinks — maximal node replacement through the EBR-fed
+/// block pool, with readers racing the recycled blocks. A stale-node
+/// resurrection (a reclaimed block reused while a search could still
+/// see it) shows up as a value/invariant violation here, as a poison
+/// failure in Debug (pool_debug_verify / the abort in pool_alloc), and
+/// as a use-after-free under ASan, where the pool is pass-through.
+template <typename ListT>
+void churn_variant(const char* name) {
+  constexpr unsigned kWriters = 4;
+  constexpr unsigned kReaders = 2;
+  constexpr Key kChurnRange = 2048;
+  ListT list(Params{.node_size = 4, .max_level = 6});
+  {
+    std::vector<KV> pairs;
+    for (Key k = 1; k <= kChurnRange; k += 3) {
+      pairs.push_back(KV{k, value_for(k)});
+    }
+    list.bulk_load(pairs);
+  }
+  std::atomic<bool> stop{false};
+  leap::util::SpinBarrier barrier(kWriters + kReaders + 1);
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kWriters; ++t) {
+    threads.emplace_back([&, t] {
+      leap::util::Xoshiro256 rng(400 + t);
+      barrier.arrive_and_wait();
+      while (!stop.load(std::memory_order_relaxed)) {
+        // Insert bursts drive splits; erase bursts re-feed the pool.
+        const Key base = static_cast<Key>(1 + rng.next_below(kChurnRange));
+        for (Key k = base; k < base + 6 && k <= kChurnRange; ++k) {
+          list.insert(k, value_for(k));
+        }
+        for (Key k = base; k < base + 6 && k <= kChurnRange; ++k) {
+          if ((rng.next() & 1) != 0) list.erase(k);
+        }
+      }
+      // Each writer's own cached blocks must hold their poison — they
+      // were filled on reclamation and nothing may touch them since.
+      CHECK(leap::util::ebr::pool_debug_verify());
+    });
+  }
+  for (unsigned t = 0; t < kReaders; ++t) {
+    threads.emplace_back([&, t] {
+      leap::util::Xoshiro256 rng(500 + t);
+      std::vector<KV> out;
+      barrier.arrive_and_wait();
+      while (!stop.load(std::memory_order_relaxed)) {
+        const Key key = static_cast<Key>(1 + rng.next_below(kChurnRange));
+        const auto value = list.get(key);
+        if (value) CHECK_EQ(*value, value_for(key));
+        const Key low = key;
+        const Key high = low + 64;
+        list.range_query(low, high, out);
+        Key prev = low - 1;
+        for (const KV& kv : out) {
+          CHECK(kv.key >= low && kv.key <= high && kv.key > prev);
+          CHECK_EQ(kv.value, value_for(kv.key));
+          prev = kv.key;
+        }
+      }
+    });
+  }
+  barrier.arrive_and_wait();
+  std::this_thread::sleep_for(stress_duration());
+  stop.store(true, std::memory_order_release);
+  for (auto& thread : threads) thread.join();
+  CHECK(list.debug_validate());
+  // Debug builds: every block cached for reuse must still carry its
+  // full poison fill — a single overwritten byte means some thread
+  // wrote into a node after it was reclaimed.
+  CHECK(leap::util::ebr::pool_debug_verify());
+  std::printf("  churn %s ok (%zu keys at rest, pool %s)\n", name,
+              list.size_slow(),
+              leap::util::ebr::pool_enabled() ? "recycling" : "pass-through");
+}
+
 }  // namespace
 
 int main() {
@@ -117,5 +195,8 @@ int main() {
   stress_variant<LeapListCOP>("COP");
   stress_variant<LeapListTM>("TM");
   stress_variant<LeapListRW>("RW");
+  churn_variant<LeapListLT>("LT");
+  churn_variant<LeapListCOP>("COP");
+  churn_variant<LeapListTM>("TM");
   return leap::test::finish("test_leaplist_stress");
 }
