@@ -31,9 +31,11 @@ int main() {
        "higher absolute throughput than (a)"},
   };
 
+  constexpr int kShards = 8;
   for (const auto& panel : panels) {
     print_figure_header(std::cout, panel.id, panel.name, panel.expectation);
     Table table(leap_table_headers("threads"));
+    Table sharded(sharded_table_headers("threads", kShards));
     for (const unsigned threads : leap::harness::thread_sweep()) {
       WorkloadConfig cfg = paper_config();
       cfg.mix = panel.mix;
@@ -41,8 +43,14 @@ int main() {
       cfg.duration = duration;
       const LeapRow row = measure_leap_row(cfg, repeats);
       table.add_row(leap_row_cells(std::to_string(threads), row));
+      const ShardedRow srow =
+          measure_sharded_row(cfg, repeats, kShards, row.lt);
+      sharded.add_row(sharded_row_cells(std::to_string(threads), srow));
     }
     table.print(std::cout);
+    std::cout << "   scale-out series: same workload over " << kShards
+              << "-shard leap::ShardedMap (see abl_shard for the sweep)\n\n";
+    sharded.print(std::cout);
   }
   return 0;
 }

@@ -15,12 +15,14 @@ int main() {
   const int repeats = leap::harness::bench_repeats(1);
   const unsigned threads = leap::harness::thread_sweep().back();
 
+  constexpr int kShards = 8;
   print_figure_header(
       std::cout, "Fig 16(a)",
       "lookup% sweep (no range queries), 100K, max threads",
       "all variants speed up as modify% drops; LT 1.9x-2.6x over COP");
   {
     Table table(leap_table_headers("lookup%"));
+    Table sharded(sharded_table_headers("lookup%", kShards));
     for (int pct = 0; pct <= 90; pct += 10) {
       WorkloadConfig cfg = paper_config();
       cfg.mix = Mix::lookup_modify(pct);
@@ -28,8 +30,14 @@ int main() {
       cfg.duration = duration;
       const LeapRow row = measure_leap_row(cfg, repeats);
       table.add_row(leap_row_cells(std::to_string(pct), row));
+      const ShardedRow srow =
+          measure_sharded_row(cfg, repeats, kShards, row.lt);
+      sharded.add_row(sharded_row_cells(std::to_string(pct), srow));
     }
     table.print(std::cout);
+    std::cout << "   scale-out series: same sweep over " << kShards
+              << "-shard leap::ShardedMap (see abl_shard for the sweep)\n\n";
+    sharded.print(std::cout);
   }
 
   print_figure_header(

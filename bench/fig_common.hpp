@@ -30,6 +30,15 @@ using SkipCASMap =
 using SkipTMMap =
     leap::Map<std::int64_t, std::int64_t, leap::policy::SkipTM>;
 
+/// Sharded instantiations (WorkloadConfig::shards picks the count; the
+/// adapter hints the partition window from key_range).
+using ShardedLTMap =
+    leap::ShardedMap<std::int64_t, std::int64_t, leap::policy::LT>;
+using ShardedTMMap =
+    leap::ShardedMap<std::int64_t, std::int64_t, leap::policy::TM>;
+using ShardedRWMap =
+    leap::ShardedMap<std::int64_t, std::int64_t, leap::policy::RW>;
+
 /// Results for the four Leap-List variants on one configuration, in the
 /// paper's order: LT, COP, tm, rwlock.
 struct LeapRow {
@@ -62,6 +71,45 @@ inline std::vector<std::string> leap_row_cells(const std::string& label,
 inline std::vector<std::string> leap_table_headers(const std::string& x_axis) {
   return {x_axis,     "Leap-LT", "Leap-COP", "Leap-tm",
           "Leap-rwl", "LT/COP",  "LT/tm",    "LT/rwl"};
+}
+
+/// The scale-out companion row: sharded LT and tm at `shards`
+/// partitions on the same workload, against a caller-supplied plain-LT
+/// baseline (measured once in the main series — not re-run here).
+struct ShardedRow {
+  double lt = 0;  // plain Leap-LT baseline
+  double sharded_lt = 0;
+  double sharded_tm = 0;
+};
+
+inline ShardedRow measure_sharded_row(WorkloadConfig cfg, int repeats,
+                                      int shards, double lt_baseline) {
+  ShardedRow row;
+  row.lt = lt_baseline;
+  cfg.shards = shards;
+  row.sharded_lt =
+      harness::run_workload<MapAdapter<ShardedLTMap>>(cfg, repeats)
+          .ops_per_sec;
+  row.sharded_tm =
+      harness::run_workload<MapAdapter<ShardedTMMap>>(cfg, repeats)
+          .ops_per_sec;
+  return row;
+}
+
+inline std::vector<std::string> sharded_row_cells(const std::string& label,
+                                                  const ShardedRow& row) {
+  return {label, Table::format_ops(row.lt),
+          Table::format_ops(row.sharded_lt),
+          Table::format_ops(row.sharded_tm),
+          Table::format_ratio(row.sharded_lt / std::max(row.lt, 1.0)),
+          Table::format_ratio(row.sharded_tm / std::max(row.lt, 1.0))};
+}
+
+inline std::vector<std::string> sharded_table_headers(
+    const std::string& x_axis, int shards) {
+  const std::string s = std::to_string(shards);
+  return {x_axis,        "Leap-LT",     "ShLT(" + s + ")",
+          "ShTM(" + s + ")", "ShLT/LT", "ShTM/LT"};
 }
 
 /// The paper's common settings (§3): L = 4 lists, node size 300, max

@@ -1,88 +1,45 @@
 #!/usr/bin/env bash
-# Record the PR 4 perf trajectory: run the allocation/throughput bench
-# and write BENCH_PR4.json at the repo root with before/after numbers.
+# Record the PR 5 perf trajectory: run the shard-count sweep and write
+# BENCH_PR5.json at the repo root.
 #
 #   bench/record_bench.sh [build-dir]     (default: ./build)
 #
-# The "before" block is the pre-PR main baseline (commit 5842128, fat
-# nodes: Node + three vectors = 4 heap allocations per update) measured
-# with this same bench on the PR author's container. Allocation counts
-# are deterministic and machine-independent; the throughput ratio is
-# machine-dependent — regenerate the current block on your hardware by
-# re-running this script, and read the alloc counts as the portable
-# evidence. CI uploads the refreshed file as a build artifact.
+# The sweep (bench/abl_shard.cpp) measures leap::ShardedMap at
+# S = 1..64 shards, 8 threads, read-mostly and mixed workloads; the
+# *_scaling ratios (top S over S = 1, same machine, same run) are the
+# portable signal — absolute ops/sec are machine-dependent. CI uploads
+# the refreshed file as a build artifact. The PR 4 allocation-trajectory
+# file (BENCH_PR4.json, written by this script's previous revision from
+# abl_alloc) stays committed as history; abl_alloc still guards the
+# alloc-per-update bound in ctest.
 #
-# LEAP_BENCH_SMOKE=1 shrinks the throughput windows (alloc counts keep
-# a reduced but still steady-state op count).
+# LEAP_BENCH_SMOKE=1 shrinks the sweep to S = {1, 4} with tiny windows.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="${1:-"$ROOT/build"}"
-OUT="$ROOT/BENCH_PR4.json"
+OUT="$ROOT/BENCH_PR5.json"
 CUR="$(mktemp)"
 trap 'rm -f "$CUR"' EXIT
 
-if [[ ! -x "$BUILD/abl_alloc" ]]; then
-  echo "record_bench: $BUILD/abl_alloc not built (cmake --build $BUILD)" >&2
+if [[ ! -x "$BUILD/abl_shard" ]]; then
+  echo "record_bench: $BUILD/abl_shard not built (cmake --build $BUILD)" >&2
   exit 1
 fi
 
-LEAP_BENCH_JSON="$CUR" "$BUILD/abl_alloc"
-
-# Pre-PR baseline: best of 3 runs of this bench built at commit 5842128
-# (the parent of this PR), same workload definition.
-BASELINE='{
-    "lt_allocs_per_update": 4.000,
-    "cop_allocs_per_update": 4.000,
-    "tm_allocs_per_update": 4.000,
-    "lt_bytes_per_update": 4976.5,
-    "cop_bytes_per_update": 4975.5,
-    "tm_bytes_per_update": 4975.0,
-    "mixed_threads": 8,
-    "mixed_modify_pct": 30,
-    "lt_mixed_ops_per_sec": 343246,
-    "cop_mixed_ops_per_sec": 373814,
-    "tm_mixed_ops_per_sec": 394136
-  }'
-
-json_get() {
-  grep "\"$2\"" "$1" | head -1 | sed 's/.*: *//; s/,$//'
-}
-
-ratio() {
-  awk -v a="$1" -v b="$2" 'BEGIN { printf "%.3f", (b > 0) ? a / b : 0 }'
-}
-
-# Single source for the baseline values the ratios divide by.
-BASE="$(mktemp)"
-trap 'rm -f "$CUR" "$BASE"' EXIT
-printf '%s\n' "$BASELINE" > "$BASE"
-
-LT_CUR=$(json_get "$CUR" lt_mixed_ops_per_sec)
-COP_CUR=$(json_get "$CUR" cop_mixed_ops_per_sec)
-TM_CUR=$(json_get "$CUR" tm_mixed_ops_per_sec)
-LT_BASE=$(json_get "$BASE" lt_mixed_ops_per_sec)
-COP_BASE=$(json_get "$BASE" cop_mixed_ops_per_sec)
-TM_BASE=$(json_get "$BASE" tm_mixed_ops_per_sec)
+LEAP_BENCH_JSON="$CUR" "$BUILD/abl_shard"
 
 MODE="full"
 [[ -n "${LEAP_BENCH_SMOKE:-}" ]] && MODE="smoke"
 
 {
   echo '{'
-  echo '  "bench": "BENCH_PR4",'
-  echo '  "workload": "fig16-style mixed, 40% lookup / 30% range / 30% modify, 8 threads, 4 lists, node_size 300, 100K keys",'
+  echo '  "bench": "BENCH_PR5",'
+  echo '  "workload": "shard sweep: 1 structure, 100K keys, 8 threads; read-mostly 90/0/10 and mixed 40/30/30; sharded LT / tm / rwlock",'
   echo "  \"current_mode\": \"$MODE\","
-  echo '  "speedup_note": "alloc counts are deterministic and portable; speedup_mixed is only meaningful when current was measured on the same machine with full windows as baseline_pre_pr (see script header)",'
-  echo "  \"baseline_pre_pr\": $BASELINE,"
-  echo -n '  "current": '
+  echo '  "note": "scaling ratios compare top-S to S=1 within this run (same machine) and are the portable signal; absolute ops/sec are machine-dependent",'
+  echo -n '  "sweep": '
   sed 's/^/  /' "$CUR" | sed '1s/^  //'
-  echo '  ,'
-  echo '  "speedup_mixed": {'
-  echo "    \"lt\": $(ratio "$LT_CUR" "$LT_BASE"),"
-  echo "    \"cop\": $(ratio "$COP_CUR" "$COP_BASE"),"
-  echo "    \"tm\": $(ratio "$TM_CUR" "$TM_BASE")"
-  echo '  }'
   echo '}'
 } > "$OUT"
 

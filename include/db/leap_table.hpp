@@ -26,6 +26,7 @@
 #include "db/schema.hpp"
 #include "leaplist/codec.hpp"
 #include "leaplist/map.hpp"
+#include "leaplist/sharded.hpp"
 #include "leaplist/txn.hpp"
 
 namespace leap::db {
@@ -41,12 +42,20 @@ class LeapTable {
   static constexpr int kIdBits = 24;
 
   using IndexKey = codec::PackedPair<ColumnValue, RowId, kIdBits>;
-  using PrimaryIndex = leap::Map<RowId, const Stored*, policy::TM>;
+  /// The primary is a sharded composable map: every row operation still
+  /// commits primary + secondaries in ONE transaction, but primary
+  /// point traffic spreads over `primary_shards` partitions of the row
+  /// id space — index maintenance composes across shards for free
+  /// because ShardedMap's `*_in` forms just route within the caller's
+  /// transaction.
+  using PrimaryIndex = leap::ShardedMap<RowId, const Stored*, policy::TM>;
   using SecondaryIndex = leap::Map<IndexKey, const Stored*, policy::TM>;
 
-  explicit LeapTable(Schema schema)
+  explicit LeapTable(Schema schema, std::size_t primary_shards = 1)
       : schema_(std::move(schema)),
-        primary_(std::make_unique<PrimaryIndex>(index_params())) {
+        primary_(std::make_unique<PrimaryIndex>(
+            ShardOptions{.shards = primary_shards, .params = index_params()},
+            RowId{0}, (RowId{1} << kIdBits) - 1)) {
     for (std::size_t c : schema_.indexed_columns) {
       (void)c;
       secondary_.push_back(

@@ -20,6 +20,7 @@
 
 #include "harness/workload.hpp"
 #include "leaplist/map.hpp"
+#include "leaplist/sharded.hpp"
 #include "leaplist/skiplist.hpp"
 #include "leaplist/txn.hpp"
 #include "stm/stm.hpp"
@@ -55,8 +56,24 @@ class MapAdapter {
       pairs.push_back(Entry{static_cast<K>(key), static_cast<V>(key)});
     }
     for (int i = 0; i < cfg_.lists; ++i) {
-      maps_.push_back(std::make_unique<MapT>(cfg_.params));
+      maps_.push_back(make_map(cfg_));
       maps_.back()->bulk_load(pairs);
+    }
+  }
+
+  /// Sharded map types (MapT::kSharded) get the workload's shard count
+  /// and the drawn key window as the partition hint; plain maps take
+  /// the leap-list params straight.
+  static std::unique_ptr<MapT> make_map(const WorkloadConfig& cfg) {
+    if constexpr (requires { MapT::kSharded; }) {
+      const auto shards =
+          static_cast<std::size_t>(cfg.shards < 1 ? 1 : cfg.shards);
+      return std::make_unique<MapT>(
+          ShardOptions{.shards = shards, .params = cfg.params},
+          static_cast<K>(1),
+          static_cast<K>(cfg.key_range + cfg.rq_span_max + 1));
+    } else {
+      return std::make_unique<MapT>(cfg.params);
     }
   }
 

@@ -37,6 +37,10 @@ struct Mix {
 
 struct WorkloadConfig {
   int lists = 1;
+  /// Shards per map: > 1 makes the adapter build each map as a
+  /// leap::ShardedMap partitioned over [1, key_range + rq_span_max + 1]
+  /// (ignored for plain-map instantiations, which are always S = 1).
+  int shards = 1;
   core::Params params{};
   std::uint64_t key_range = 100000;     // keys drawn from [1, key_range]
   std::uint64_t rq_span_min = 1000;

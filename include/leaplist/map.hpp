@@ -82,6 +82,34 @@ auto append_to(Vec& out) {
   return core::detail::Appender<Vec>(out);
 }
 
+/// A materialized range snapshot: captured through one range
+/// visitation (with whatever consistency the capturing map's policy
+/// provides), then iterated with no further synchronization — safe to
+/// hold across later updates. Map and ShardedMap alias this as their
+/// Cursor type.
+template <typename K, typename V>
+class SnapshotCursor {
+ public:
+  using value_type = std::pair<K, V>;
+
+  SnapshotCursor() = default;
+  explicit SnapshotCursor(std::vector<value_type> items)
+      : items_(std::move(items)) {}
+
+  bool valid() const { return pos_ < items_.size(); }
+  const K& key() const { return items_[pos_].first; }
+  const V& value() const { return items_[pos_].second; }
+  void next() { ++pos_; }
+  void rewind() { pos_ = 0; }
+  std::size_t size() const { return items_.size(); }
+  auto begin() const { return items_.begin(); }
+  auto end() const { return items_.end(); }
+
+ private:
+  std::vector<value_type> items_;
+  std::size_t pos_ = 0;
+};
+
 /// The uniform ordered-map shape the harness and db layers program
 /// against: typed point ops, visitor ranges, bounded scans, bulk
 /// preload. leap::Map models it for every policy; so does anything
@@ -175,27 +203,12 @@ class Map {
   /// A materialized snapshot of [low, high]: captured through one
   /// (policy-consistent) range visitation, then iterated with no
   /// further synchronization — safe to hold across later updates.
-  class Cursor {
-   public:
-    bool valid() const { return pos_ < items_.size(); }
-    const K& key() const { return items_[pos_].first; }
-    const V& value() const { return items_[pos_].second; }
-    void next() { ++pos_; }
-    void rewind() { pos_ = 0; }
-    std::size_t size() const { return items_.size(); }
-    auto begin() const { return items_.begin(); }
-    auto end() const { return items_.end(); }
-
-   private:
-    friend class Map;
-    std::vector<value_type> items_;
-    std::size_t pos_ = 0;
-  };
+  using Cursor = SnapshotCursor<K, V>;
 
   Cursor snapshot(const K& low, const K& high) const {
-    Cursor cursor;
-    for_range(low, high, append_to(cursor.items_));
-    return cursor;
+    std::vector<value_type> items;
+    for_range(low, high, append_to(items));
+    return Cursor(std::move(items));
   }
 
   // --- Composable forms (policy::TM only) ----------------------------
@@ -231,6 +244,23 @@ class Map {
     Decoded<F> visitor{fn};
     return engine_.for_range_in(tx, KeyCodec::encode(low),
                                 KeyCodec::encode(high), visitor);
+  }
+
+  /// Composable bounded scan: like scan, but enlisted in the caller's
+  /// open transaction. The append base is captured per call, so an
+  /// in-transaction restart of this visitation rolls back exactly this
+  /// call's contribution (a whole-transaction retry is the caller's
+  /// closure contract, as for every `*_in` form).
+  std::size_t scan_in(stm::Tx& tx, const K& low, std::size_t limit,
+                      std::vector<value_type>& out) const
+    requires(Policy::kComposable)
+  {
+    if (limit == 0) return 0;
+    BoundedAppend sink{out, out.size(), limit};
+    Decoded<BoundedAppend> visitor{sink};
+    engine_.for_range_in(tx, KeyCodec::encode(low), core::kSentinelKey - 1,
+                         visitor);
+    return out.size() - sink.base;
   }
 
   // --- Loading / introspection ---------------------------------------

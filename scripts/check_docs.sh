@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Docs tree guard (run locally or as the CI `docs` job):
+#
+#   1. Every relative markdown link in docs/*.md and README.md must
+#      resolve to an existing file (anchors stripped; http(s) links
+#      ignored).
+#   2. Every public header under include/leaplist/ must be referenced
+#      from docs/architecture.md — new headers ship with documentation
+#      or this check fails the build.
+#
+#   scripts/check_docs.sh [repo-root]     (default: the script's parent)
+set -euo pipefail
+
+ROOT="${1:-"$(cd "$(dirname "$0")/.." && pwd)"}"
+fail=0
+
+# --- 1. relative links resolve --------------------------------------
+for md in "$ROOT"/docs/*.md "$ROOT/README.md"; do
+  [[ -f "$md" ]] || continue
+  dir="$(dirname "$md")"
+  # Markdown inline links: capture the (...) target of [...](...).
+  while IFS= read -r target; do
+    [[ -z "$target" ]] && continue
+    case "$target" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    path="${target%%#*}"
+    [[ -z "$path" ]] && continue
+    if [[ ! -e "$dir/$path" && ! -e "$ROOT/$path" ]]; then
+      echo "check_docs: broken link in ${md#"$ROOT"/}: $target" >&2
+      fail=1
+    fi
+  # Strip fenced blocks (``` at any indent) and inline code spans
+  # before extracting links, so C++ lambdas like `[&](Key k)` in code
+  # never parse as markdown link targets.
+  done < <(awk '/^[[:space:]]*```/ { fenced = !fenced; next } !fenced' "$md" \
+             | sed 's/`[^`]*`//g' \
+             | grep -oE '\]\([^)]+\)' | sed 's/^](//; s/)$//')
+done
+
+# --- 2. architecture.md references every public leaplist header -----
+ARCH="$ROOT/docs/architecture.md"
+if [[ ! -f "$ARCH" ]]; then
+  echo "check_docs: docs/architecture.md is missing" >&2
+  fail=1
+else
+  for header in "$ROOT"/include/leaplist/*.hpp; do
+    rel="include/leaplist/$(basename "$header")"
+    if ! grep -q "$rel" "$ARCH"; then
+      echo "check_docs: $rel is not referenced from docs/architecture.md" >&2
+      fail=1
+    fi
+  done
+fi
+
+if [[ "$fail" -ne 0 ]]; then
+  echo "check_docs: FAILED" >&2
+  exit 1
+fi
+echo "check_docs: ok (links resolve; all include/leaplist headers documented)"

@@ -37,34 +37,40 @@ Row make_row(RowId id, leap::util::Xoshiro256& rng) {
               static_cast<ColumnValue>(rng.next_below(16))}};
 }
 
-template <typename TableT>
-void test_functional(const char* name) {
-  TableT table(test_schema());
-  std::vector<Row> reference;  // id-indexed shadow (id - 1)
+/// `stride` spreads row ids across the primary's [0, 2^24) id space —
+/// ids are 1, 1 + stride, 1 + 2*stride, … — so a sharded primary is
+/// exercised ACROSS its partition boundaries, not bunched into shard 0
+/// (boundary for 4 shards: id 2^22). stride 1 keeps the dense layout.
+template <typename TableT, typename... Args>
+void test_functional(const char* name, RowId stride, Args&&... args) {
+  TableT table(test_schema(), std::forward<Args>(args)...);
+  std::vector<Row> reference;  // ordinal-indexed shadow
   constexpr RowId kRows = 2000;
+  const auto id_of = [&](RowId ordinal) { return 1 + (ordinal - 1) * stride; };
+  const auto ordinal_of = [&](RowId id) { return 1 + (id - 1) / stride; };
   leap::util::Xoshiro256 rng(4321);
-  for (RowId id = 1; id <= kRows; ++id) {
-    const Row row = make_row(id, rng);
+  for (RowId ordinal = 1; ordinal <= kRows; ++ordinal) {
+    const Row row = make_row(id_of(ordinal), rng);
     table.insert(row);
     reference.push_back(row);
   }
   // Point reads.
-  for (RowId id = 1; id <= kRows; ++id) {
-    const auto row = table.get(id);
+  for (RowId ordinal = 1; ordinal <= kRows; ++ordinal) {
+    const auto row = table.get(id_of(ordinal));
     CHECK(row.has_value());
-    CHECK_EQ(row->id, id);
-    CHECK(row->values == reference[id - 1].values);
+    CHECK_EQ(row->id, id_of(ordinal));
+    CHECK(row->values == reference[ordinal - 1].values);
   }
-  CHECK(!table.get(kRows + 1).has_value());
+  CHECK(!table.get(id_of(kRows) + 1).has_value());
   // Overwrite updates the secondary indexes.
   Row replacement = reference[9];
   replacement.values[0] = 424242;
   table.insert(replacement);
   reference[9] = replacement;
   // Erase.
-  CHECK(table.erase(5));
-  CHECK(!table.erase(5));
-  CHECK(!table.get(5).has_value());
+  CHECK(table.erase(id_of(5)));
+  CHECK(!table.erase(id_of(5)));
+  CHECK(!table.get(id_of(5)).has_value());
   // Scans per indexed column vs the shadow.
   std::vector<Row> out;
   for (std::size_t col = 0; col < 3; ++col) {
@@ -73,7 +79,7 @@ void test_functional(const char* name) {
     table.scan(col, low, high, out);
     std::size_t expected = 0;
     for (const Row& row : reference) {
-      if (row.id == 5) continue;
+      if (row.id == id_of(5)) continue;
       const ColumnValue v = row.values[col];
       if (v >= low && v <= high) ++expected;
     }
@@ -81,7 +87,7 @@ void test_functional(const char* name) {
     for (const Row& row : out) {
       CHECK(row.values[col] >= low);
       CHECK(row.values[col] <= high);
-      CHECK(row.values == reference[row.id - 1].values);
+      CHECK(row.values == reference[ordinal_of(row.id) - 1].values);
     }
   }
   std::printf("  functional %s ok\n", name);
@@ -140,18 +146,24 @@ void test_concurrent_smoke() {
 // with the primary row read in the same transaction). Per-index
 // maintenance fails this battery in the half-updated window; the
 // one-transaction maintenance must hold it at every instant.
-void test_multi_index_consistency() {
+void test_multi_index_consistency(std::size_t primary_shards) {
   Schema schema;
   schema.columns = {"a", "b"};
   schema.indexed_columns = {0, 1};
-  LeapTable table(schema);
+  LeapTable table(schema, primary_shards);
   constexpr RowId kRows = 128;
   constexpr ColumnValue kValues = 8;
+  // Spread ids across the primary's [0, 2^24) window so a sharded
+  // primary sees cross-boundary traffic (see test_functional).
+  constexpr RowId kStride = (RowId{1} << LeapTable::kIdBits) / kRows;
+  const auto id_of = [](RowId ordinal) {
+    return 1 + (ordinal - 1) * kStride;
+  };
   {
     leap::util::Xoshiro256 rng(77);
-    for (RowId id = 1; id <= kRows; ++id) {
+    for (RowId ordinal = 1; ordinal <= kRows; ++ordinal) {
       const auto v = static_cast<ColumnValue>(rng.next_below(kValues));
-      table.insert(Row{id, {v, v}});
+      table.insert(Row{id_of(ordinal), {v, v}});
     }
   }
   std::atomic<bool> stop{false};
@@ -160,7 +172,7 @@ void test_multi_index_consistency() {
     threads.emplace_back([&, t] {
       leap::util::Xoshiro256 rng(500 + t);
       while (!stop.load(std::memory_order_relaxed)) {
-        const RowId id = 1 + rng.next_below(kRows);
+        const RowId id = id_of(1 + rng.next_below(kRows));
         if (rng.next_below(8) == 0) {
           table.erase(id);
         } else {
@@ -207,7 +219,8 @@ void test_multi_index_consistency() {
   std::this_thread::sleep_for(stress_duration());
   stop.store(true, std::memory_order_release);
   for (auto& thread : threads) thread.join();
-  std::printf("  multi-index consistency ok\n");
+  std::printf("  multi-index consistency ok (primary shards %zu)\n",
+              primary_shards);
 }
 
 // Targeted regression for the old per-index maintenance: one row
@@ -250,10 +263,18 @@ void test_partial_index_update_regression() {
 }  // namespace
 
 int main() {
-  test_functional<LeapTable>("LeapTable");
-  test_functional<LockedTreeTable>("LockedTreeTable");
+  test_functional<LeapTable>("LeapTable", 1);
+  // Sharded primary: row ops still commit primary + secondaries in one
+  // transaction, now with the primary partitioned over 4 shards — ids
+  // spread across the whole [0, 2^24) window so every shard and every
+  // boundary sees traffic.
+  test_functional<LeapTable>("LeapTable (sharded primary)",
+                             (RowId{1} << LeapTable::kIdBits) / 2048,
+                             std::size_t{4});
+  test_functional<LockedTreeTable>("LockedTreeTable", 1);
   test_concurrent_smoke();
-  test_multi_index_consistency();
+  test_multi_index_consistency(1);
+  test_multi_index_consistency(4);
   test_partial_index_update_regression();
   return leap::test::finish("test_db");
 }
