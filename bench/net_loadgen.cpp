@@ -1,0 +1,461 @@
+// leap-loadgen — the network load generator for leapd (PR 6).
+//
+// Drives the wire protocol (leaplist/net/protocol.hpp) over loopback
+// or a remote host, in two arrival models per connection:
+//
+//   closed loop   --pipeline D outstanding requests per connection;
+//                 D = 1 is classic unpipelined request/response, D > 1
+//                 exercises the server's burst batching (a pipelined
+//                 burst of point ops commits as ONE server txn).
+//   open loop     --rate R total ops/sec scheduled on a clock;
+//                 latency is measured from the SCHEDULED send instant,
+//                 so queueing delay under overload is charged to the
+//                 server (no coordinated omission).
+//
+// Each thread owns one connection and an event-driven poll() loop;
+// latency is recorded per response (a multi-chunk scan counts once, at
+// its ScanDone) into the harness log-domain histogram, reported as
+// p50/p99/p999 with throughput. --sweep runs the recorded-trajectory
+// grid (threads x pipeline) used by bench/record_bench.sh; exit status
+// is nonzero when any connection failed or no ops completed, so CI can
+// gate on it.
+//
+//   leap-loadgen --port P [--host 127.0.0.1] [--threads N] [--seconds S]
+//     [--pipeline D] [--rate R] [--keys K] [--preload N]
+//     [--mix get:put:erase:scan:txn] [--sweep]
+#include <poll.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fig_common.hpp"
+#include "leaplist/net/client.hpp"
+#include "leaplist/net/protocol.hpp"
+
+using namespace leap::net;
+
+namespace {
+
+struct MixPct {
+  int get = 75;
+  int put = 15;
+  int erase = 5;
+  int scan = 2;
+  int txn = 3;
+};
+
+struct GenConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  unsigned threads = 4;
+  double seconds = 5.0;
+  std::size_t pipeline = 16;  // closed-loop outstanding cap
+  double rate = 0;            // total ops/sec; > 0 switches to open loop
+  std::int64_t keys = 1'000'000;
+  std::int64_t preload = 100'000;
+  MixPct mix;
+};
+
+struct GenResult {
+  std::uint64_t ops = 0;
+  std::uint64_t failures = 0;  // connection-level failures
+  double seconds = 0;
+  leap::harness::LatencyHistogram hist;
+};
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Build one request drawn from the mix; returns how many response
+/// frames complete it (scans stream, everything else answers once —
+/// tracked via a per-request pending marker instead; so this returns
+/// void and pushes the frame).
+void build_request(std::vector<std::uint8_t>& out, const GenConfig& cfg,
+                   leap::util::Xoshiro256& rng) {
+  const int dial = static_cast<int>(rng.next_below(100));
+  const MixPct& mix = cfg.mix;
+  const std::int64_t key = static_cast<std::int64_t>(
+      rng.next_below(static_cast<std::uint64_t>(cfg.keys)));
+  if (dial < mix.get) {
+    append_get(out, key);
+  } else if (dial < mix.get + mix.put) {
+    append_put(out, key, static_cast<std::int64_t>(rng.next()));
+  } else if (dial < mix.get + mix.put + mix.erase) {
+    append_erase(out, key);
+  } else if (dial < mix.get + mix.put + mix.erase + mix.scan) {
+    append_scan(out, key, key + 256, 128);
+  } else {
+    // The headline opcode: a 3-key read-modify-move in one server txn.
+    const std::int64_t k2 = static_cast<std::int64_t>(
+        rng.next_below(static_cast<std::uint64_t>(cfg.keys)));
+    const std::int64_t k3 = static_cast<std::int64_t>(
+        rng.next_below(static_cast<std::uint64_t>(cfg.keys)));
+    const std::vector<TxnOp> ops = {
+        {Op::kGet, key, 0},
+        {Op::kPut, k2, static_cast<std::int64_t>(rng.next())},
+        {Op::kErase, k3, 0},
+    };
+    append_txn(out, ops);
+  }
+}
+
+/// One connection's event loop: nonblocking socket, poll()-driven,
+/// shared by both arrival models.
+GenResult run_conn(const GenConfig& cfg, unsigned index,
+                   std::uint64_t start_ns, std::uint64_t deadline_ns) {
+  GenResult result;
+  Client client;
+  if (!client.connect(cfg.host, cfg.port)) {
+    result.failures = 1;
+    return result;
+  }
+  const int fd = client.fd();
+  leap::util::Xoshiro256 rng(0x10ad0000 + index);
+  std::vector<std::uint8_t> out;
+  std::size_t out_ofs = 0;
+  std::vector<std::uint8_t> in;
+  std::size_t in_ofs = 0;
+  std::deque<std::uint64_t> pending;  // send (or scheduled) timestamps
+
+  const bool open_loop = cfg.rate > 0;
+  const double per_thread_rate =
+      open_loop ? cfg.rate / static_cast<double>(cfg.threads) : 0;
+  const std::uint64_t interval_ns =
+      open_loop ? static_cast<std::uint64_t>(1e9 / per_thread_rate) : 0;
+  // Stagger the open-loop clocks so threads don't fire in phase.
+  std::uint64_t next_sched =
+      start_ns + (open_loop ? interval_ns * index / cfg.threads : 0);
+  constexpr std::size_t kMaxOutstanding = 4096;
+
+  bool sending = true;
+  std::uint64_t drain_deadline = 0;
+  for (;;) {
+    const std::uint64_t now = now_ns();
+    if (sending && now >= deadline_ns) {
+      sending = false;
+      drain_deadline = now + 2'000'000'000ull;  // 2 s response grace
+    }
+    if (!sending && (pending.empty() || now >= drain_deadline)) break;
+
+    // Enqueue new requests per the arrival model.
+    if (sending) {
+      if (open_loop) {
+        while (next_sched <= now && pending.size() < kMaxOutstanding) {
+          build_request(out, cfg, rng);
+          pending.push_back(next_sched);
+          next_sched += interval_ns;
+        }
+      } else {
+        while (pending.size() < cfg.pipeline) {
+          build_request(out, cfg, rng);
+          pending.push_back(now_ns());
+        }
+      }
+    }
+
+    // Nonblocking flush of whatever is queued.
+    while (out_ofs < out.size()) {
+      const ssize_t n = ::send(fd, out.data() + out_ofs,
+                               out.size() - out_ofs,
+                               MSG_NOSIGNAL | MSG_DONTWAIT);
+      if (n > 0) {
+        out_ofs += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      if (n < 0 && errno == EINTR) continue;
+      result.failures += 1;
+      return result;
+    }
+    if (out_ofs == out.size()) {
+      out.clear();
+      out_ofs = 0;
+    }
+
+    // Wait for readability / writability / the next scheduled send.
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    if (out_ofs < out.size()) pfd.events |= POLLOUT;
+    int timeout_ms = 50;
+    if (open_loop && sending) {
+      const std::uint64_t gap =
+          next_sched > now ? (next_sched - now) / 1'000'000 : 0;
+      timeout_ms = static_cast<int>(gap < 50 ? gap : 50);
+    }
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready < 0 && errno != EINTR) {
+      result.failures += 1;
+      return result;
+    }
+    if (ready <= 0 || !(pfd.revents & (POLLIN | POLLHUP | POLLERR))) {
+      continue;
+    }
+
+    // Drain responses; complete one pending op per non-chunk frame.
+    std::uint8_t chunk[64 * 1024];
+    for (;;) {
+      const ssize_t n = ::recv(fd, chunk, sizeof(chunk), MSG_DONTWAIT);
+      if (n > 0) {
+        in.insert(in.end(), chunk, chunk + n);
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      if (n < 0 && errno == EINTR) continue;
+      result.failures += 1;  // EOF or reset with requests outstanding
+      return result;
+    }
+    const std::uint64_t recv_ns = now_ns();
+    for (;;) {
+      std::size_t len = 0;
+      const FrameState state =
+          split_frame(in.data() + in_ofs, in.size() - in_ofs, len);
+      if (state == FrameState::kBad) {
+        result.failures += 1;
+        return result;
+      }
+      if (state == FrameState::kNeedMore) break;
+      const Status status = static_cast<Status>(in[in_ofs + 4]);
+      in_ofs += 4 + len;
+      if (status == Status::kScanChunk) continue;  // op not complete yet
+      if (status == Status::kError || pending.empty()) {
+        result.failures += 1;
+        return result;
+      }
+      const std::uint64_t sent = pending.front();
+      pending.pop_front();
+      result.hist.record(recv_ns > sent ? recv_ns - sent : 0);
+      result.ops += 1;
+    }
+    if (in_ofs == in.size()) {
+      in.clear();
+      in_ofs = 0;
+    } else if (in_ofs > sizeof(chunk)) {
+      in.erase(in.begin(), in.begin() + static_cast<std::ptrdiff_t>(in_ofs));
+      in_ofs = 0;
+    }
+  }
+  result.seconds =
+      static_cast<double>(now_ns() - start_ns) / 1e9;
+  return result;
+}
+
+/// Fill the key space before measuring: pipelined puts on one blocking
+/// connection, spread over [0, keys) by stride.
+bool preload(const GenConfig& cfg) {
+  if (cfg.preload <= 0) return true;
+  Client client;
+  if (!client.connect(cfg.host, cfg.port)) return false;
+  const std::int64_t count = std::min(cfg.preload, cfg.keys);
+  const std::int64_t stride = std::max<std::int64_t>(1, cfg.keys / count);
+  constexpr std::int64_t kBurst = 512;
+  std::int64_t done = 0;
+  while (done < count) {
+    const std::int64_t n = std::min(kBurst, count - done);
+    for (std::int64_t i = 0; i < n; ++i) {
+      client.queue_put((done + i) * stride, done + i);
+    }
+    if (!client.flush()) return false;
+    for (std::int64_t i = 0; i < n; ++i) {
+      const auto resp = client.read_response();
+      if (!resp || resp->status != Status::kOk) return false;
+    }
+    done += n;
+  }
+  return true;
+}
+
+GenResult run_config(const GenConfig& cfg) {
+  const std::uint64_t start = now_ns();
+  const std::uint64_t deadline =
+      start + static_cast<std::uint64_t>(cfg.seconds * 1e9);
+  std::vector<GenResult> per_thread(cfg.threads);
+  std::vector<std::thread> threads;
+  threads.reserve(cfg.threads);
+  for (unsigned t = 0; t < cfg.threads; ++t) {
+    threads.emplace_back([&, t] {
+      per_thread[t] = run_conn(cfg, t, start, deadline);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  GenResult merged;
+  merged.seconds = static_cast<double>(now_ns() - start) / 1e9;
+  for (const GenResult& r : per_thread) {
+    merged.ops += r.ops;
+    merged.failures += r.failures;
+    merged.hist.merge(r.hist);
+  }
+  return merged;
+}
+
+double value_arg(int argc, char** argv, const char* flag, double fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return std::atof(argv[i + 1]);
+  }
+  return fallback;
+}
+
+bool flag_arg(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = leap::harness::smoke_mode();
+  GenConfig base;
+  base.host = [&] {
+    for (int i = 1; i + 1 < argc; ++i) {
+      if (std::strcmp(argv[i], "--host") == 0) return std::string(argv[i + 1]);
+    }
+    return std::string("127.0.0.1");
+  }();
+  base.port =
+      static_cast<std::uint16_t>(value_arg(argc, argv, "--port", 0));
+  base.threads =
+      static_cast<unsigned>(value_arg(argc, argv, "--threads", 4));
+  base.seconds = value_arg(argc, argv, "--seconds", smoke ? 0.5 : 5.0);
+  base.pipeline =
+      static_cast<std::size_t>(value_arg(argc, argv, "--pipeline", 16));
+  base.rate = value_arg(argc, argv, "--rate", 0);
+  base.keys = static_cast<std::int64_t>(
+      value_arg(argc, argv, "--keys", smoke ? 65536 : 1'000'000));
+  base.preload = static_cast<std::int64_t>(
+      value_arg(argc, argv, "--preload", smoke ? 4096 : 100'000));
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--mix") == 0) {
+      MixPct mix;
+      if (std::sscanf(argv[i + 1], "%d:%d:%d:%d:%d", &mix.get, &mix.put,
+                      &mix.erase, &mix.scan, &mix.txn) == 5) {
+        base.mix = mix;
+      }
+    }
+  }
+  if (base.port == 0) {
+    std::fprintf(stderr, "leap-loadgen: --port is required\n");
+    return 1;
+  }
+
+  if (!preload(base)) {
+    std::fprintf(stderr,
+                 "leap-loadgen: preload failed (is leapd up on %s:%u?)\n",
+                 base.host.c_str(), static_cast<unsigned>(base.port));
+    return 1;
+  }
+
+  struct Point {
+    unsigned threads;
+    std::size_t pipeline;
+  };
+  std::vector<Point> grid;
+  if (flag_arg(argc, argv, "--sweep")) {
+    const std::vector<unsigned> thread_list =
+        smoke ? std::vector<unsigned>{1, 2} : std::vector<unsigned>{1, 4, 8};
+    const std::vector<std::size_t> pipe_list =
+        smoke ? std::vector<std::size_t>{1, 8}
+              : std::vector<std::size_t>{1, 16};
+    for (const unsigned t : thread_list) {
+      for (const std::size_t p : pipe_list) grid.push_back({t, p});
+    }
+    if (smoke) base.seconds = std::min(base.seconds, 0.5);
+  } else {
+    grid.push_back({base.threads, base.pipeline});
+  }
+
+  leap::harness::print_figure_header(
+      std::cout, "leap-loadgen: leapd throughput + tail latency",
+      base.rate > 0 ? "open loop (scheduled arrivals)"
+                    : "closed loop (pipelined)",
+      "pipelining multiplies throughput per connection (burst batching "
+      "commits a whole pipelined window in one server txn)");
+  leap::harness::Table table(
+      {"threads", "pipeline", "ops/s", "p50 us", "p99 us", "p999 us"});
+
+  struct Recorded {
+    std::string label;
+    GenResult result;
+  };
+  std::vector<Recorded> recorded;
+  std::uint64_t total_ops = 0;
+  std::uint64_t total_failures = 0;
+  for (const Point& point : grid) {
+    GenConfig cfg = base;
+    cfg.threads = point.threads;
+    cfg.pipeline = point.pipeline;
+    const GenResult result = run_config(cfg);
+    total_ops += result.ops;
+    total_failures += result.failures;
+    const double ops_per_sec =
+        result.seconds > 0 ? static_cast<double>(result.ops) / result.seconds
+                           : 0;
+    auto us = [](std::uint64_t ns) {
+      std::ostringstream out;
+      out << std::fixed << std::setprecision(1)
+          << static_cast<double>(ns) / 1e3;
+      return out.str();
+    };
+    table.add_row({std::to_string(point.threads),
+                   std::to_string(point.pipeline),
+                   leap::harness::Table::format_ops(ops_per_sec),
+                   us(result.hist.percentile(0.50)),
+                   us(result.hist.percentile(0.99)),
+                   us(result.hist.percentile(0.999))});
+    recorded.push_back({"t" + std::to_string(point.threads) + "_p" +
+                            std::to_string(point.pipeline),
+                        result});
+  }
+  table.print(std::cout);
+  if (total_failures > 0) {
+    std::fprintf(stderr, "leap-loadgen: %llu connection failures\n",
+                 static_cast<unsigned long long>(total_failures));
+  }
+
+  if (const char* path = std::getenv("LEAP_BENCH_JSON")) {
+    std::ofstream out(path);
+    out << "{\n"
+        << "  \"bench\": \"net_loadgen\",\n"
+        << "  \"keys\": " << base.keys << ",\n"
+        << "  \"preload\": " << base.preload << ",\n"
+        << "  \"mix_get_put_erase_scan_txn\": \"" << base.mix.get << ":"
+        << base.mix.put << ":" << base.mix.erase << ":" << base.mix.scan
+        << ":" << base.mix.txn << "\",\n"
+        << "  \"seconds_per_point\": " << base.seconds << ",\n";
+    bool first = true;
+    out << std::fixed;
+    for (const Recorded& r : recorded) {
+      const double ops_per_sec =
+          r.result.seconds > 0
+              ? static_cast<double>(r.result.ops) / r.result.seconds
+              : 0;
+      out << (first ? "" : ",\n");
+      out.precision(1);
+      out << "  \"" << r.label << "_ops_per_sec\": " << ops_per_sec << ",\n"
+          << "  \"" << r.label
+          << "_p50_ns\": " << r.result.hist.percentile(0.50) << ",\n"
+          << "  \"" << r.label
+          << "_p99_ns\": " << r.result.hist.percentile(0.99) << ",\n"
+          << "  \"" << r.label
+          << "_p999_ns\": " << r.result.hist.percentile(0.999);
+      first = false;
+    }
+    out << "\n}\n";
+  }
+
+  if (total_ops == 0 || total_failures > 0) return 1;
+  std::printf("leap-loadgen: %llu ops total, clean run\n",
+              static_cast<unsigned long long>(total_ops));
+  return 0;
+}

@@ -1,45 +1,104 @@
 #!/usr/bin/env bash
-# Record the PR 5 perf trajectory: run the shard-count sweep and write
-# BENCH_PR5.json at the repo root.
+# Record the repo's perf trajectory: run the shard-count sweep and the
+# network loadgen sweep, and write one combined JSON at the repo root.
 #
-#   bench/record_bench.sh [build-dir]     (default: ./build)
+#   [BENCH_NAME=...] bench/record_bench.sh [build-dir]   (default: ./build)
 #
-# The sweep (bench/abl_shard.cpp) measures leap::ShardedMap at
-# S = 1..64 shards, 8 threads, read-mostly and mixed workloads; the
-# *_scaling ratios (top S over S = 1, same machine, same run) are the
-# portable signal — absolute ops/sec are machine-dependent. CI uploads
-# the refreshed file as a build artifact. The PR 4 allocation-trajectory
-# file (BENCH_PR4.json, written by this script's previous revision from
-# abl_alloc) stays committed as history; abl_alloc still guards the
-# alloc-per-update bound in ctest.
+# BENCH_NAME names the output file (default BENCH_LATEST → the rolling
+# CI artifact, gitignored). A PR that commits its trajectory sets a
+# frozen name instead, e.g. `BENCH_NAME=BENCH_PR6 bench/record_bench.sh`.
 #
-# LEAP_BENCH_SMOKE=1 shrinks the sweep to S = {1, 4} with tiny windows.
+# Two sweeps feed the file:
+#   * bench/abl_shard.cpp — leap::ShardedMap at S = 1..64 shards,
+#     8 threads, read-mostly and mixed. The *_scaling ratios (top S
+#     over S = 1, same machine, same run) are the portable signal —
+#     absolute ops/sec are machine-dependent.
+#   * bench/net_loadgen.cpp --sweep — leapd over loopback, a
+#     threads × pipeline grid (1/4/8 clients, unpipelined vs depth 16),
+#     throughput + p50/p99/p999 per point. The pipelined-vs-unpipelined
+#     ratio at equal threads isolates the server's burst batching.
+#
+# Earlier committed trajectories (BENCH_PR4.json from abl_alloc,
+# BENCH_PR5.json from abl_shard alone) stay as history; their guards
+# still run in ctest.
+#
+# LEAP_BENCH_SMOKE=1 shrinks both sweeps (tiny windows, small grids).
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="${1:-"$ROOT/build"}"
-OUT="$ROOT/BENCH_PR5.json"
-CUR="$(mktemp)"
-trap 'rm -f "$CUR"' EXIT
+NAME="${BENCH_NAME:-BENCH_LATEST}"
+OUT="$ROOT/$NAME.json"
+CUR_SHARD="$(mktemp)"
+CUR_NET="$(mktemp)"
+SERVER_LOG="$(mktemp)"
+SERVER_PID=""
 
-if [[ ! -x "$BUILD/abl_shard" ]]; then
-  echo "record_bench: $BUILD/abl_shard not built (cmake --build $BUILD)" >&2
+cleanup() {
+  if [[ -n "$SERVER_PID" ]] && kill -0 "$SERVER_PID" 2>/dev/null; then
+    kill -9 "$SERVER_PID" 2>/dev/null || true
+  fi
+  rm -f "$CUR_SHARD" "$CUR_NET" "$SERVER_LOG"
+}
+trap cleanup EXIT
+
+for bin in abl_shard leapd leap-loadgen; do
+  if [[ ! -x "$BUILD/$bin" ]]; then
+    echo "record_bench: $BUILD/$bin not built (cmake --build $BUILD)" >&2
+    exit 1
+  fi
+done
+
+# --- sweep 1: shard scaling -------------------------------------------
+LEAP_BENCH_JSON="$CUR_SHARD" "$BUILD/abl_shard"
+
+# --- sweep 2: serving layer over loopback -----------------------------
+"$BUILD/leapd" --port 0 --workers 2 --shards 8 > "$SERVER_LOG" &
+SERVER_PID=$!
+PORT=""
+for _ in $(seq 1 100); do
+  PORT="$(sed -n 's/^leapd: listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+          "$SERVER_LOG" | head -n1)"
+  [[ -n "$PORT" ]] && break
+  if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+    echo "record_bench: leapd died before listening:" >&2
+    cat "$SERVER_LOG" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+if [[ -z "$PORT" ]]; then
+  echo "record_bench: leapd never printed its listen line" >&2
   exit 1
 fi
 
-LEAP_BENCH_JSON="$CUR" "$BUILD/abl_shard"
+LEAP_BENCH_JSON="$CUR_NET" "$BUILD/leap-loadgen" --port "$PORT" --sweep
+
+kill -TERM "$SERVER_PID"
+STATUS=0
+wait "$SERVER_PID" || STATUS=$?
+SERVER_PID=""
+if [[ "$STATUS" -ne 0 ]] || ! grep -q "clean shutdown" "$SERVER_LOG"; then
+  echo "record_bench: leapd did not shut down cleanly (exit $STATUS):" >&2
+  cat "$SERVER_LOG" >&2
+  exit 1
+fi
 
 MODE="full"
 [[ -n "${LEAP_BENCH_SMOKE:-}" ]] && MODE="smoke"
 
 {
   echo '{'
-  echo '  "bench": "BENCH_PR5",'
-  echo '  "workload": "shard sweep: 1 structure, 100K keys, 8 threads; read-mostly 90/0/10 and mixed 40/30/30; sharded LT / tm / rwlock",'
+  echo "  \"bench\": \"$NAME\","
   echo "  \"current_mode\": \"$MODE\","
-  echo '  "note": "scaling ratios compare top-S to S=1 within this run (same machine) and are the portable signal; absolute ops/sec are machine-dependent",'
-  echo -n '  "sweep": '
-  sed 's/^/  /' "$CUR" | sed '1s/^  //'
+  echo '  "note": "shard-sweep scaling ratios compare top-S to S=1 within this run (same machine) and are the portable signal; net-sweep pipelined-vs-unpipelined ratios at equal threads isolate burst batching; absolute ops/sec are machine-dependent",'
+  echo '  "shard_sweep_workload": "1 structure, 100K keys, 8 threads; read-mostly 90/0/10 and mixed 40/30/30; sharded LT / tm / rwlock",'
+  echo -n '  "shard_sweep": '
+  sed 's/^/  /' "$CUR_SHARD" | sed '1s/^  //'
+  echo ','
+  echo '  "net_sweep_workload": "leapd over loopback, 2 workers, 8 shards; threads x pipeline grid, default mix; p50/p99/p999 per point",'
+  echo -n '  "net_sweep": '
+  sed 's/^/  /' "$CUR_NET" | sed '1s/^  //'
   echo '}'
 } > "$OUT"
 

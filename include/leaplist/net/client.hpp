@@ -1,0 +1,228 @@
+// leap::net::Client — a small blocking client for the leapd protocol
+// (leaplist/net/protocol.hpp). Two usage levels:
+//
+//   * one-shot ops: get/put/erase/scan/txn send a request and block
+//     for its response(s) — the convenient form for tests and tools;
+//   * pipelining primitives: queue_* build request frames into a local
+//     buffer, flush() writes them in one burst, read_response() pulls
+//     responses back one frame at a time — how a caller exercises the
+//     server's burst batching.
+//
+// Error model: no exceptions. A socket or protocol failure marks the
+// client failed() and closes the socket; subsequent ops return
+// miss/false/nullopt. Callers that care distinguish a miss from a
+// failure by checking failed().
+#pragma once
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "leaplist/net/protocol.hpp"
+
+namespace leap::net {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client() { close(); }
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  bool connect(const std::string& host, std::uint16_t port) {
+    close();
+    fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd_ < 0) return false;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+        ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+            0) {
+      close();
+      return false;
+    }
+    int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    failed_ = false;
+    return true;
+  }
+
+  void close() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+    outq_.clear();
+    inbuf_.clear();
+    in_ofs_ = 0;
+  }
+
+  bool connected() const { return fd_ >= 0; }
+  bool failed() const { return failed_; }
+  int fd() const { return fd_; }
+
+  // --- one-shot operations -------------------------------------------
+
+  std::optional<std::int64_t> get(std::int64_t key) {
+    append_get(outq_, key);
+    const auto resp = round_trip();
+    if (!resp || resp->status != Status::kFound) return std::nullopt;
+    return resp->value;
+  }
+
+  /// True when the key was absent (inserted); false overwrote or failed.
+  bool put(std::int64_t key, std::int64_t value) {
+    append_put(outq_, key, value);
+    const auto resp = round_trip();
+    return resp && resp->status == Status::kOk && resp->flag != 0;
+  }
+
+  bool erase(std::int64_t key) {
+    append_erase(outq_, key);
+    const auto resp = round_trip();
+    return resp && resp->status == Status::kOk && resp->flag != 0;
+  }
+
+  /// Assemble a whole (possibly multi-chunk) scan into `out`
+  /// (appending). Returns the pair count, or -1 on failure.
+  std::ptrdiff_t scan(std::int64_t low, std::int64_t high,
+                      std::uint32_t limit,
+                      std::vector<std::pair<std::int64_t, std::int64_t>>& out) {
+    append_scan(outq_, low, high, limit);
+    if (!flush()) return -1;
+    std::ptrdiff_t total = 0;
+    for (;;) {
+      const auto resp = read_response();
+      if (!resp) return -1;
+      if (resp->status != Status::kScanChunk &&
+          resp->status != Status::kScanDone) {
+        fail();
+        return -1;
+      }
+      out.insert(out.end(), resp->pairs.begin(), resp->pairs.end());
+      total += static_cast<std::ptrdiff_t>(resp->pairs.size());
+      if (resp->status == Status::kScanDone) return total;
+    }
+  }
+
+  /// Run `ops` as one atomic multi-key transaction server-side.
+  std::optional<std::vector<TxnResult>> txn(const std::vector<TxnOp>& ops) {
+    append_txn(outq_, ops);
+    if (!flush()) return std::nullopt;
+    const auto resp = read_response(&ops);
+    if (!resp || resp->status != Status::kTxnDone) return std::nullopt;
+    return resp->results;
+  }
+
+  // --- pipelining primitives -----------------------------------------
+
+  void queue_get(std::int64_t key) { append_get(outq_, key); }
+  void queue_put(std::int64_t key, std::int64_t value) {
+    append_put(outq_, key, value);
+  }
+  void queue_erase(std::int64_t key) { append_erase(outq_, key); }
+  void queue_scan(std::int64_t low, std::int64_t high, std::uint32_t limit) {
+    append_scan(outq_, low, high, limit);
+  }
+  void queue_txn(const std::vector<TxnOp>& ops) { append_txn(outq_, ops); }
+
+  /// Append raw bytes to the send queue — the robustness tests use
+  /// this to speak deliberately broken frames.
+  void queue_raw(const std::vector<std::uint8_t>& bytes) {
+    outq_.insert(outq_.end(), bytes.begin(), bytes.end());
+  }
+
+  /// Write everything queued (one syscall burst — the pipelined shape).
+  bool flush() {
+    std::size_t at = 0;
+    while (at < outq_.size()) {
+      const ssize_t n = ::send(fd_, outq_.data() + at, outq_.size() - at,
+                               MSG_NOSIGNAL);
+      if (n > 0) {
+        at += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (errno == EINTR) continue;
+      fail();
+      return false;
+    }
+    outq_.clear();
+    return true;
+  }
+
+  /// Block for the next response frame. A multi-chunk scan surfaces as
+  /// several responses (ScanChunk..., ScanDone). nullopt = connection
+  /// failed or the stream was malformed.
+  std::optional<Response> read_response(
+      const std::vector<TxnOp>* txn_ops = nullptr) {
+    std::vector<std::uint8_t> payload;
+    if (!read_frame(payload)) return std::nullopt;
+    auto resp = parse_response(payload.data(), payload.size(), txn_ops);
+    if (!resp) fail();
+    return resp;
+  }
+
+  /// Block for one length-prefixed frame; false on EOF/error.
+  bool read_frame(std::vector<std::uint8_t>& payload) {
+    for (;;) {
+      std::size_t len = 0;
+      const FrameState state = split_frame(
+          inbuf_.data() + in_ofs_, inbuf_.size() - in_ofs_, len);
+      if (state == FrameState::kBad) {
+        fail();
+        return false;
+      }
+      if (state == FrameState::kReady) {
+        const std::uint8_t* at = inbuf_.data() + in_ofs_ + 4;
+        payload.assign(at, at + len);
+        in_ofs_ += 4 + len;
+        if (in_ofs_ == inbuf_.size()) {
+          inbuf_.clear();
+          in_ofs_ = 0;
+        }
+        return true;
+      }
+      std::uint8_t chunk[16 * 1024];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n > 0) {
+        inbuf_.insert(inbuf_.end(), chunk, chunk + n);
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      fail();  // EOF or hard error with a frame outstanding
+      return false;
+    }
+  }
+
+ private:
+  std::optional<Response> round_trip() {
+    if (!flush()) return std::nullopt;
+    return read_response();
+  }
+
+  void fail() {
+    failed_ = true;
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+  int fd_ = -1;
+  bool failed_ = false;
+  std::vector<std::uint8_t> outq_;
+  std::vector<std::uint8_t> inbuf_;
+  std::size_t in_ofs_ = 0;
+};
+
+}  // namespace leap::net

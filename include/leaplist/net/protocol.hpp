@@ -1,0 +1,441 @@
+// leap::net wire protocol — the length-prefixed binary format spoken
+// between leapd (src/server.cpp) and its clients (leap-loadgen, the
+// test battery, anything else that frames bytes the same way).
+//
+//   Frame    := len:u32le payload[len]        1 <= len <= kMaxFrameBytes
+//   Request  := op:u8 body
+//     Get    := key:i64le
+//     Put    := key:i64le value:i64le
+//     Erase  := key:i64le
+//     Scan   := low:i64le high:i64le limit:u32le      (limit 0 = all)
+//     Txn    := n:u16le  n × (sub:u8 key:i64le [value:i64le if Put])
+//   Response := status:u8 body
+//     Ok        := flag:u8               put: inserted, erase: erased
+//     Found     := value:i64le           get hit
+//     Miss      :=                       get miss
+//     ScanChunk := n:u32le n × (key:i64le value:i64le)   more follow
+//     ScanDone  := n:u32le n × (key:i64le value:i64le)   final chunk
+//     TxnDone   := n:u16le  n × result   get: found:u8 [value:i64le],
+//                                        put/erase: flag:u8
+//     Error     := code:u8               the server closes after this
+//
+// Responses come back in request order on each connection; a Scan
+// request yields zero or more ScanChunk frames then exactly one
+// ScanDone. Every integer is little-endian. Parsers reject frames
+// whose body is shorter or longer than the opcode demands — a frame
+// either decodes exactly or errors out the connection.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <vector>
+
+namespace leap::net {
+
+/// Hard ceiling on one frame's payload; a length prefix above this is
+/// a protocol error (the connection is closed, nothing is allocated).
+inline constexpr std::uint32_t kMaxFrameBytes = 1u << 20;
+
+/// Most ops a single Txn request may carry.
+inline constexpr std::size_t kMaxTxnOps = 1024;
+
+/// Pairs per ScanChunk/ScanDone frame — the server's streaming unit,
+/// and the bound on how much of a large range is ever buffered.
+inline constexpr std::size_t kScanChunkPairs = 512;
+
+enum class Op : std::uint8_t {
+  kGet = 1,
+  kPut = 2,
+  kErase = 3,
+  kScan = 4,
+  kTxn = 5,
+};
+
+enum class Status : std::uint8_t {
+  kOk = 0,
+  kFound = 1,
+  kMiss = 2,
+  kScanChunk = 3,
+  kScanDone = 4,
+  kTxnDone = 5,
+  kError = 6,
+};
+
+enum class Err : std::uint8_t {
+  kBadFrame = 1,   // zero-length or oversized length prefix
+  kBadOpcode = 2,  // unknown request opcode
+  kBadBody = 3,    // body length/content mismatch for the opcode
+};
+
+/// One operation inside a Txn request (only point sub-ops compose).
+struct TxnOp {
+  Op op = Op::kGet;
+  std::int64_t key = 0;
+  std::int64_t value = 0;  // meaningful for kPut only
+};
+
+/// A decoded request frame. Point fields and the txn vector are
+/// populated per `op`; unused fields stay zero.
+struct Request {
+  Op op = Op::kGet;
+  std::int64_t key = 0;
+  std::int64_t value = 0;
+  std::int64_t low = 0;
+  std::int64_t high = 0;
+  std::uint32_t limit = 0;
+  std::vector<TxnOp> txn;
+};
+
+/// One sub-op outcome inside a TxnDone response: for kGet `flag` is
+/// found and `value` the hit; for kPut/kErase `flag` is
+/// inserted/erased.
+struct TxnResult {
+  std::uint8_t flag = 0;
+  std::int64_t value = 0;
+};
+
+/// A decoded response frame (client side). Fields populate per status.
+struct Response {
+  Status status = Status::kError;
+  std::uint8_t flag = 0;
+  std::int64_t value = 0;
+  std::uint8_t error = 0;
+  std::vector<std::pair<std::int64_t, std::int64_t>> pairs;
+  std::vector<TxnResult> results;
+};
+
+// --- little-endian primitives ----------------------------------------
+
+inline void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) {
+  out.push_back(v);
+}
+
+inline void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+inline void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+inline void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+inline void put_i64(std::vector<std::uint8_t>& out, std::int64_t v) {
+  put_u64(out, static_cast<std::uint64_t>(v));
+}
+
+inline std::uint32_t load_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= std::uint32_t{p[i]} << (8 * i);
+  return v;
+}
+
+/// Bounds-checked sequential reader over one frame payload. Every
+/// read_* returns false past the end; `done()` demands the payload was
+/// consumed exactly (trailing bytes are a protocol error too).
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  bool read_u8(std::uint8_t& v) {
+    if (size_ - at_ < 1) return false;
+    v = data_[at_++];
+    return true;
+  }
+
+  bool read_u16(std::uint16_t& v) {
+    if (size_ - at_ < 2) return false;
+    v = static_cast<std::uint16_t>(data_[at_] |
+                                   (std::uint16_t{data_[at_ + 1]} << 8));
+    at_ += 2;
+    return true;
+  }
+
+  bool read_u32(std::uint32_t& v) {
+    if (size_ - at_ < 4) return false;
+    v = load_u32(data_ + at_);
+    at_ += 4;
+    return true;
+  }
+
+  bool read_i64(std::int64_t& v) {
+    if (size_ - at_ < 8) return false;
+    std::uint64_t u = 0;
+    for (int i = 0; i < 8; ++i) u |= std::uint64_t{data_[at_ + i]} << (8 * i);
+    at_ += 8;
+    v = static_cast<std::int64_t>(u);
+    return true;
+  }
+
+  bool done() const { return at_ == size_; }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t at_ = 0;
+};
+
+// --- framing ----------------------------------------------------------
+
+/// Reserve a length prefix; fill it once the payload is appended.
+inline std::size_t begin_frame(std::vector<std::uint8_t>& out) {
+  const std::size_t at = out.size();
+  out.insert(out.end(), 4, 0);
+  return at;
+}
+
+inline void end_frame(std::vector<std::uint8_t>& out, std::size_t at) {
+  const std::uint32_t len = static_cast<std::uint32_t>(out.size() - at - 4);
+  for (int i = 0; i < 4; ++i) {
+    out[at + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(len >> (8 * i));
+  }
+}
+
+enum class FrameState {
+  kNeedMore,  // not enough buffered bytes for prefix + payload
+  kReady,     // payload_len set, payload starts at data + 4
+  kBad,       // zero or oversized length prefix — poison the stream
+};
+
+/// Inspect the buffered byte stream at `data` for one complete frame.
+inline FrameState split_frame(const std::uint8_t* data, std::size_t size,
+                              std::size_t& payload_len) {
+  if (size < 4) return FrameState::kNeedMore;
+  const std::uint32_t len = load_u32(data);
+  if (len == 0 || len > kMaxFrameBytes) return FrameState::kBad;
+  payload_len = len;
+  if (size < 4 + static_cast<std::size_t>(len)) return FrameState::kNeedMore;
+  return FrameState::kReady;
+}
+
+// --- request builders (client side) -----------------------------------
+
+inline void append_get(std::vector<std::uint8_t>& out, std::int64_t key) {
+  const std::size_t at = begin_frame(out);
+  put_u8(out, static_cast<std::uint8_t>(Op::kGet));
+  put_i64(out, key);
+  end_frame(out, at);
+}
+
+inline void append_put(std::vector<std::uint8_t>& out, std::int64_t key,
+                       std::int64_t value) {
+  const std::size_t at = begin_frame(out);
+  put_u8(out, static_cast<std::uint8_t>(Op::kPut));
+  put_i64(out, key);
+  put_i64(out, value);
+  end_frame(out, at);
+}
+
+inline void append_erase(std::vector<std::uint8_t>& out, std::int64_t key) {
+  const std::size_t at = begin_frame(out);
+  put_u8(out, static_cast<std::uint8_t>(Op::kErase));
+  put_i64(out, key);
+  end_frame(out, at);
+}
+
+inline void append_scan(std::vector<std::uint8_t>& out, std::int64_t low,
+                        std::int64_t high, std::uint32_t limit) {
+  const std::size_t at = begin_frame(out);
+  put_u8(out, static_cast<std::uint8_t>(Op::kScan));
+  put_i64(out, low);
+  put_i64(out, high);
+  put_u32(out, limit);
+  end_frame(out, at);
+}
+
+inline void append_txn(std::vector<std::uint8_t>& out,
+                       const std::vector<TxnOp>& ops) {
+  const std::size_t at = begin_frame(out);
+  put_u8(out, static_cast<std::uint8_t>(Op::kTxn));
+  put_u16(out, static_cast<std::uint16_t>(ops.size()));
+  for (const TxnOp& op : ops) {
+    put_u8(out, static_cast<std::uint8_t>(op.op));
+    put_i64(out, op.key);
+    if (op.op == Op::kPut) put_i64(out, op.value);
+  }
+  end_frame(out, at);
+}
+
+// --- response builders (server side) ----------------------------------
+
+inline void append_ok(std::vector<std::uint8_t>& out, bool flag) {
+  const std::size_t at = begin_frame(out);
+  put_u8(out, static_cast<std::uint8_t>(Status::kOk));
+  put_u8(out, flag ? 1 : 0);
+  end_frame(out, at);
+}
+
+inline void append_found(std::vector<std::uint8_t>& out, std::int64_t value) {
+  const std::size_t at = begin_frame(out);
+  put_u8(out, static_cast<std::uint8_t>(Status::kFound));
+  put_i64(out, value);
+  end_frame(out, at);
+}
+
+inline void append_miss(std::vector<std::uint8_t>& out) {
+  const std::size_t at = begin_frame(out);
+  put_u8(out, static_cast<std::uint8_t>(Status::kMiss));
+  end_frame(out, at);
+}
+
+inline void append_scan_pairs(
+    std::vector<std::uint8_t>& out,
+    const std::pair<std::int64_t, std::int64_t>* pairs, std::size_t n,
+    bool done) {
+  const std::size_t at = begin_frame(out);
+  put_u8(out, static_cast<std::uint8_t>(done ? Status::kScanDone
+                                             : Status::kScanChunk));
+  put_u32(out, static_cast<std::uint32_t>(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    put_i64(out, pairs[i].first);
+    put_i64(out, pairs[i].second);
+  }
+  end_frame(out, at);
+}
+
+inline void append_txn_done(std::vector<std::uint8_t>& out,
+                            const std::vector<TxnOp>& ops,
+                            const std::vector<TxnResult>& results) {
+  const std::size_t at = begin_frame(out);
+  put_u8(out, static_cast<std::uint8_t>(Status::kTxnDone));
+  put_u16(out, static_cast<std::uint16_t>(results.size()));
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    put_u8(out, results[i].flag);
+    if (ops[i].op == Op::kGet && results[i].flag) {
+      put_i64(out, results[i].value);
+    }
+  }
+  end_frame(out, at);
+}
+
+inline void append_error(std::vector<std::uint8_t>& out, Err code) {
+  const std::size_t at = begin_frame(out);
+  put_u8(out, static_cast<std::uint8_t>(Status::kError));
+  put_u8(out, static_cast<std::uint8_t>(code));
+  end_frame(out, at);
+}
+
+// --- parsers ----------------------------------------------------------
+
+inline bool is_point_op(Op op) {
+  return op == Op::kGet || op == Op::kPut || op == Op::kErase;
+}
+
+/// Decode one request payload. nullopt = malformed (unknown opcode,
+/// short/long body, oversized txn) — the caller errors the connection.
+inline std::optional<Request> parse_request(const std::uint8_t* payload,
+                                            std::size_t size) {
+  Reader r(payload, size);
+  std::uint8_t op_raw = 0;
+  if (!r.read_u8(op_raw)) return std::nullopt;
+  Request req;
+  req.op = static_cast<Op>(op_raw);
+  switch (req.op) {
+    case Op::kGet:
+    case Op::kErase:
+      if (!r.read_i64(req.key)) return std::nullopt;
+      break;
+    case Op::kPut:
+      if (!r.read_i64(req.key) || !r.read_i64(req.value)) return std::nullopt;
+      break;
+    case Op::kScan:
+      if (!r.read_i64(req.low) || !r.read_i64(req.high) ||
+          !r.read_u32(req.limit)) {
+        return std::nullopt;
+      }
+      break;
+    case Op::kTxn: {
+      std::uint16_t count = 0;
+      if (!r.read_u16(count)) return std::nullopt;
+      if (count > kMaxTxnOps) return std::nullopt;
+      req.txn.reserve(count);
+      for (std::uint16_t i = 0; i < count; ++i) {
+        std::uint8_t sub_raw = 0;
+        TxnOp sub;
+        if (!r.read_u8(sub_raw)) return std::nullopt;
+        sub.op = static_cast<Op>(sub_raw);
+        if (!is_point_op(sub.op)) return std::nullopt;
+        if (!r.read_i64(sub.key)) return std::nullopt;
+        if (sub.op == Op::kPut && !r.read_i64(sub.value)) return std::nullopt;
+        req.txn.push_back(sub);
+      }
+      break;
+    }
+    default:
+      return std::nullopt;
+  }
+  if (!r.done()) return std::nullopt;
+  return req;
+}
+
+/// Decode one response payload (client side). nullopt = malformed.
+/// The caller supplies the ops a TxnDone answers (the protocol elides
+/// found-values for puts/erases, so decoding needs the request shape).
+inline std::optional<Response> parse_response(
+    const std::uint8_t* payload, std::size_t size,
+    const std::vector<TxnOp>* txn_ops = nullptr) {
+  Reader r(payload, size);
+  std::uint8_t status_raw = 0;
+  if (!r.read_u8(status_raw)) return std::nullopt;
+  Response resp;
+  resp.status = static_cast<Status>(status_raw);
+  switch (resp.status) {
+    case Status::kOk:
+      if (!r.read_u8(resp.flag)) return std::nullopt;
+      break;
+    case Status::kFound:
+      if (!r.read_i64(resp.value)) return std::nullopt;
+      break;
+    case Status::kMiss:
+      break;
+    case Status::kScanChunk:
+    case Status::kScanDone: {
+      std::uint32_t count = 0;
+      if (!r.read_u32(count)) return std::nullopt;
+      if (count > kScanChunkPairs) return std::nullopt;
+      resp.pairs.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        std::int64_t key = 0;
+        std::int64_t value = 0;
+        if (!r.read_i64(key) || !r.read_i64(value)) return std::nullopt;
+        resp.pairs.emplace_back(key, value);
+      }
+      break;
+    }
+    case Status::kTxnDone: {
+      std::uint16_t count = 0;
+      if (!r.read_u16(count)) return std::nullopt;
+      if (txn_ops == nullptr || txn_ops->size() != count) return std::nullopt;
+      resp.results.reserve(count);
+      for (std::uint16_t i = 0; i < count; ++i) {
+        TxnResult result;
+        if (!r.read_u8(result.flag)) return std::nullopt;
+        if ((*txn_ops)[i].op == Op::kGet && result.flag &&
+            !r.read_i64(result.value)) {
+          return std::nullopt;
+        }
+        resp.results.push_back(result);
+      }
+      break;
+    }
+    case Status::kError:
+      if (!r.read_u8(resp.error)) return std::nullopt;
+      break;
+    default:
+      return std::nullopt;
+  }
+  if (!r.done()) return std::nullopt;
+  return resp;
+}
+
+}  // namespace leap::net

@@ -1,0 +1,103 @@
+// leap::net::Server — "leapd": a multi-threaded epoll TCP server
+// exposing a leap::ShardedMap<int64, int64, policy::TM> over the
+// length-prefixed binary protocol in leaplist/net/protocol.hpp.
+//
+// Threading model: every worker owns an epoll instance; the listening
+// socket is registered in all of them with EPOLLEXCLUSIVE, so the
+// kernel wakes exactly one worker per pending accept and a connection
+// lives on the worker that accepted it for its whole life — no
+// cross-thread handoff, no shared connection state, no locks on the
+// hot path. The map itself is the concurrency layer (point ops route
+// to one shard; transactions are STM).
+//
+// Request handling (per connection, responses in request order):
+//   * a pipelined burst of complete point-op frames (get/put/erase)
+//     is decoded straight into `*_in` forms and executed inside ONE
+//     leap::txn — one STM commit per burst instead of per op;
+//   * a Txn frame's sub-ops run in their own leap::txn (the paper's
+//     composable multi-key transaction, across shards, over the wire);
+//   * a Scan streams ScanChunk frames of kScanChunkPairs pairs, each
+//     chunk one bounded stitched transaction, so a large range is
+//     never buffered fully — in memory or in the socket buffer
+//     (output backpressure pauses chunk production).
+// Malformed input (bad opcode/body, zero or oversized length prefix)
+// errors out that connection — an Error frame when the stream is still
+// framed, then close — without touching the others.
+//
+// The server binds 127.0.0.1 only (a benchmarking/test harness, not a
+// hardened public endpoint). Wire format and semantics: docs/server.md.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "leaplist/leaplist.hpp"
+#include "leaplist/map.hpp"
+#include "leaplist/sharded.hpp"
+
+namespace leap::net {
+
+struct ServerOptions {
+  std::uint16_t port = 0;  // 0 = ephemeral; read back via Server::port()
+  unsigned workers = 2;    // epoll shards (worker threads)
+  std::size_t shards = 8;  // map shards
+  std::int64_t key_lo = 0;            // shard-routing window hint
+  std::int64_t key_hi = 1'000'000;    // (keys outside stay correct)
+  core::Params params{};              // per-shard leap-list parameters
+  std::size_t max_batch = 128;        // point ops fused into one txn
+};
+
+struct ServerStats {
+  std::uint64_t ops = 0;       // requests answered (a batch counts each)
+  std::uint64_t accepted = 0;  // connections accepted
+  std::uint64_t errored = 0;   // connections closed on protocol error
+};
+
+class Server {
+ public:
+  using MapType = ShardedMap<std::int64_t, std::int64_t, policy::TM>;
+
+  explicit Server(const ServerOptions& opts);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind + listen + start the workers. False (with *error set) on any
+  /// socket/epoll failure; the server is then inert and stop() is a
+  /// no-op.
+  bool start(std::string* error = nullptr);
+
+  /// Stop accepting, wake every worker, join them, close all
+  /// connections. Idempotent; also run by the destructor.
+  void stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// The bound port (after start(); useful with opts.port = 0).
+  std::uint16_t port() const { return port_; }
+
+  ServerStats stats() const;
+
+  /// The served map — for in-process tests to seed or inspect state.
+  MapType& map() { return map_; }
+
+ private:
+  struct Worker;
+  friend struct Worker;
+
+  ServerOptions opts_;
+  MapType map_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> ops_{0};
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> errored_{0};
+  std::vector<std::unique_ptr<Worker>> workers_;
+};
+
+}  // namespace leap::net

@@ -4,9 +4,10 @@
 #   1. Every relative markdown link in docs/*.md and README.md must
 #      resolve to an existing file (anchors stripped; http(s) links
 #      ignored).
-#   2. Every public header under include/leaplist/ must be referenced
-#      from docs/architecture.md — new headers ship with documentation
-#      or this check fails the build.
+#   2. Every public header under include/leaplist/ (including the
+#      net/ subtree) must be referenced from docs/architecture.md —
+#      new headers ship with documentation or this check fails the
+#      build.
 #
 #   scripts/check_docs.sh [repo-root]     (default: the script's parent)
 set -euo pipefail
@@ -44,8 +45,10 @@ if [[ ! -f "$ARCH" ]]; then
   echo "check_docs: docs/architecture.md is missing" >&2
   fail=1
 else
-  for header in "$ROOT"/include/leaplist/*.hpp; do
-    rel="include/leaplist/$(basename "$header")"
+  for header in "$ROOT"/include/leaplist/*.hpp \
+                "$ROOT"/include/leaplist/net/*.hpp; do
+    [[ -f "$header" ]] || continue
+    rel="${header#"$ROOT"/}"
     if ! grep -q "$rel" "$ARCH"; then
       echo "check_docs: $rel is not referenced from docs/architecture.md" >&2
       fail=1

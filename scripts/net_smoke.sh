@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# End-to-end loopback smoke for the serving layer: start leapd on an
+# ephemeral port, run leap-loadgen against it for a few seconds, then
+# SIGTERM the server and assert
+#   1. the loadgen completed nonzero ops with no connection failures
+#      (its own exit status), and
+#   2. leapd exited 0 and printed its clean-shutdown stats line.
+#
+#   scripts/net_smoke.sh [build-dir]      (default: ./build)
+#
+# LEAP_BENCH_SMOKE=1 shrinks the run (ctest and the sanitizer jobs set
+# it); otherwise the loadgen drives ~3 s of load.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-"$ROOT/build"}"
+LOG="$(mktemp)"
+SERVER_PID=""
+
+cleanup() {
+  if [[ -n "$SERVER_PID" ]] && kill -0 "$SERVER_PID" 2>/dev/null; then
+    kill -9 "$SERVER_PID" 2>/dev/null || true
+  fi
+  rm -f "$LOG"
+}
+trap cleanup EXIT
+
+for bin in leapd leap-loadgen; do
+  if [[ ! -x "$BUILD/$bin" ]]; then
+    echo "net_smoke: $BUILD/$bin not built (cmake --build $BUILD)" >&2
+    exit 1
+  fi
+done
+
+"$BUILD/leapd" --port 0 --workers 2 --shards 8 > "$LOG" &
+SERVER_PID=$!
+
+# Wait for the listen line and parse the ephemeral port out of it.
+PORT=""
+for _ in $(seq 1 100); do
+  PORT="$(sed -n 's/^leapd: listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+          "$LOG" | head -n1)"
+  [[ -n "$PORT" ]] && break
+  if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+    echo "net_smoke: leapd died before listening:" >&2
+    cat "$LOG" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+if [[ -z "$PORT" ]]; then
+  echo "net_smoke: leapd never printed its listen line" >&2
+  exit 1
+fi
+
+SECONDS_ARG=()
+[[ -z "${LEAP_BENCH_SMOKE:-}" ]] && SECONDS_ARG=(--seconds 3)
+
+"$BUILD/leap-loadgen" --port "$PORT" --threads 2 --pipeline 8 \
+  "${SECONDS_ARG[@]}"
+
+kill -TERM "$SERVER_PID"
+STATUS=0
+wait "$SERVER_PID" || STATUS=$?
+SERVER_PID=""
+if [[ "$STATUS" -ne 0 ]]; then
+  echo "net_smoke: leapd exited $STATUS (expected 0)" >&2
+  cat "$LOG" >&2
+  exit 1
+fi
+if ! grep -q "clean shutdown" "$LOG"; then
+  echo "net_smoke: leapd never reported a clean shutdown:" >&2
+  cat "$LOG" >&2
+  exit 1
+fi
+SERVED="$(sed -n 's/^leapd: served \([0-9]*\) ops.*/\1/p' "$LOG" | head -n1)"
+if [[ -z "$SERVED" || "$SERVED" -eq 0 ]]; then
+  echo "net_smoke: leapd served 0 ops" >&2
+  cat "$LOG" >&2
+  exit 1
+fi
+echo "net_smoke: ok ($SERVED ops served, clean shutdown)"

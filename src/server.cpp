@@ -1,0 +1,561 @@
+// leap::net::Server implementation — epoll event loops, connection
+// state machines, and the request handlers that decode pipelined
+// bursts into composable `*_in` forms. Design notes in
+// include/leaplist/net/server.hpp; wire format in
+// include/leaplist/net/protocol.hpp and docs/server.md.
+#include "leaplist/net/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+#include "leaplist/net/protocol.hpp"
+#include "leaplist/txn.hpp"
+
+namespace leap::net {
+
+namespace {
+
+/// Pause producing responses for a connection once this much output is
+/// queued; epoll writability resumes it. Bounds server memory per
+/// connection regardless of scan span or pipeline depth.
+constexpr std::size_t kOutHighWater = 256 * 1024;
+
+/// Stop reading from a connection whose input backlog this exceeds
+/// (the peer outran our processing); draining re-arms EPOLLIN.
+constexpr std::size_t kInHighWater = 256 * 1024;
+
+constexpr std::size_t kReadChunk = 64 * 1024;
+
+bool set_nodelay(int fd) {
+  int one = 1;
+  return ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) == 0;
+}
+
+}  // namespace
+
+/// One epoll shard: a thread, its epoll instance, a wake eventfd, and
+/// the connections it accepted. All per-connection state is touched by
+/// this thread only.
+struct Server::Worker {
+  /// An in-flight streaming scan; produced chunk-by-chunk so the
+  /// response order stays FIFO while memory stays bounded.
+  struct ScanState {
+    std::int64_t next_low = 0;
+    std::int64_t high = 0;
+    std::uint64_t remaining = 0;  // pairs still allowed (if bounded)
+    bool bounded = false;
+  };
+
+  struct Conn {
+    int fd = -1;
+    std::vector<std::uint8_t> in;
+    std::size_t in_ofs = 0;  // parse cursor into `in`
+    std::vector<std::uint8_t> out;
+    std::size_t out_ofs = 0;  // flush cursor into `out`
+    std::optional<ScanState> scan;
+    std::uint32_t armed = 0;  // epoll interest currently registered
+    bool closing = false;     // flush what is queued, then close
+    bool peer_eof = false;    // read side done; serve then close
+  };
+
+  Server& server;
+  int epoll_fd = -1;
+  int wake_fd = -1;
+  std::thread thread;
+  std::unordered_map<int, std::unique_ptr<Conn>> conns;
+  // Scratch reused across requests (capacity persists).
+  std::vector<Request> batch;
+  std::vector<TxnResult> results;
+  std::vector<std::pair<std::int64_t, std::int64_t>> scan_buf;
+  // Distinct addresses tagging the non-connection epoll registrations.
+  int listen_tag = 0;
+  int wake_tag = 0;
+
+  explicit Worker(Server& owner) : server(owner) {}
+
+  ~Worker() {
+    for (auto& [fd, conn] : conns) ::close(fd);
+    conns.clear();
+    if (wake_fd >= 0) ::close(wake_fd);
+    if (epoll_fd >= 0) ::close(epoll_fd);
+  }
+
+  bool init(std::string* error) {
+    epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+    wake_fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    if (epoll_fd < 0 || wake_fd < 0) {
+      if (error) *error = "epoll/eventfd creation failed";
+      return false;
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.ptr = &wake_tag;
+    if (::epoll_ctl(epoll_fd, EPOLL_CTL_ADD, wake_fd, &ev) != 0) {
+      if (error) *error = "epoll_ctl(wake) failed";
+      return false;
+    }
+    ev.events = EPOLLIN | EPOLLEXCLUSIVE;
+    ev.data.ptr = &listen_tag;
+    if (::epoll_ctl(epoll_fd, EPOLL_CTL_ADD, server.listen_fd_, &ev) != 0) {
+      if (error) *error = "epoll_ctl(listen) failed";
+      return false;
+    }
+    return true;
+  }
+
+  void wake() {
+    const std::uint64_t one = 1;
+    [[maybe_unused]] const ssize_t n = ::write(wake_fd, &one, sizeof(one));
+  }
+
+  void run() {
+    epoll_event events[64];
+    while (server.running_.load(std::memory_order_acquire)) {
+      const int n = ::epoll_wait(epoll_fd, events, 64, -1);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+      for (int i = 0; i < n; ++i) {
+        void* tag = events[i].data.ptr;
+        if (tag == &wake_tag) continue;  // stop flag is checked above
+        if (tag == &listen_tag) {
+          accept_all();
+          continue;
+        }
+        on_conn_event(*static_cast<Conn*>(tag), events[i].events);
+      }
+    }
+  }
+
+  void accept_all() {
+    for (;;) {
+      const int fd = ::accept4(server.listen_fd_, nullptr, nullptr,
+                               SOCK_NONBLOCK | SOCK_CLOEXEC);
+      if (fd < 0) return;  // EAGAIN (another worker won), EMFILE, ...
+      set_nodelay(fd);
+      auto conn = std::make_unique<Conn>();
+      conn->fd = fd;
+      conn->armed = EPOLLIN;
+      epoll_event ev{};
+      ev.events = EPOLLIN;
+      ev.data.ptr = conn.get();
+      if (::epoll_ctl(epoll_fd, EPOLL_CTL_ADD, fd, &ev) != 0) {
+        ::close(fd);
+        continue;
+      }
+      conns.emplace(fd, std::move(conn));
+      server.accepted_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  void close_conn(Conn& c) {
+    ::close(c.fd);  // kernel drops the epoll registration with the fd
+    conns.erase(c.fd);
+  }
+
+  void on_conn_event(Conn& c, std::uint32_t ev) {
+    if (ev & EPOLLERR) {
+      close_conn(c);
+      return;
+    }
+    if ((ev & EPOLLHUP) && !(ev & EPOLLIN)) {
+      close_conn(c);
+      return;
+    }
+    if (ev & (EPOLLIN | EPOLLHUP)) {
+      if (!read_some(c)) {
+        close_conn(c);
+        return;
+      }
+    }
+    pump(c);
+  }
+
+  /// Drain the socket into the connection's input buffer. False means
+  /// a hard error — the caller closes.
+  bool read_some(Conn& c) {
+    std::uint8_t chunk[kReadChunk];
+    for (;;) {
+      if (c.in.size() >= kInHighWater) return true;  // backpressure
+      const ssize_t n = ::recv(c.fd, chunk, sizeof(chunk), 0);
+      if (n > 0) {
+        c.in.insert(c.in.end(), chunk, chunk + n);
+        continue;
+      }
+      if (n == 0) {
+        c.peer_eof = true;
+        return true;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+      if (errno == EINTR) continue;
+      return false;
+    }
+  }
+
+  /// The per-connection engine: alternate producing responses and
+  /// flushing until blocked on input, output, or the socket. Ends by
+  /// re-arming the epoll interest to whatever unblocks us next.
+  void pump(Conn& c) {
+    for (;;) {
+      process(c);
+      if (!flush_some(c)) return;  // closed (error, or drained+closing)
+      // More to produce and room to produce it?
+      const bool can_produce =
+          !c.closing && c.out.size() - c.out_ofs < kOutHighWater &&
+          (c.scan.has_value() || has_complete_frame(c));
+      if (!can_produce) break;
+    }
+    if ((c.peer_eof || c.closing) && !c.scan.has_value() &&
+        c.out.size() == c.out_ofs) {
+      close_conn(c);
+      return;
+    }
+    update_interest(c);
+  }
+
+  bool has_complete_frame(const Conn& c) const {
+    std::size_t len = 0;
+    return split_frame(c.in.data() + c.in_ofs, c.in.size() - c.in_ofs,
+                       len) != FrameState::kNeedMore;
+  }
+
+  enum class Pull { kNone, kReq, kBadFrame, kBadBody };
+
+  /// Consume one complete frame into `req`. kNone = need more bytes;
+  /// kBadFrame/kBadBody poison the stream (caller errors out).
+  Pull pull_request(Conn& c, Request& req) {
+    std::size_t len = 0;
+    const std::uint8_t* at = c.in.data() + c.in_ofs;
+    switch (split_frame(at, c.in.size() - c.in_ofs, len)) {
+      case FrameState::kNeedMore:
+        return Pull::kNone;
+      case FrameState::kBad:
+        return Pull::kBadFrame;
+      case FrameState::kReady:
+        break;
+    }
+    auto parsed = parse_request(at + 4, len);
+    c.in_ofs += 4 + len;
+    if (!parsed) return Pull::kBadBody;
+    req = std::move(*parsed);
+    return Pull::kReq;
+  }
+
+  /// True when the next complete frame is a point op (safe to fuse
+  /// into the current batch without reordering responses).
+  bool peek_point(const Conn& c) const {
+    std::size_t len = 0;
+    const std::uint8_t* at = c.in.data() + c.in_ofs;
+    if (split_frame(at, c.in.size() - c.in_ofs, len) != FrameState::kReady) {
+      return false;
+    }
+    return is_point_op(static_cast<Op>(at[4]));
+  }
+
+  /// Decode and execute buffered requests until input runs dry, the
+  /// output buffer hits its high-water mark, or the stream errors.
+  void process(Conn& c) {
+    bool poisoned = false;
+    Err poison_code = Err::kBadFrame;
+    while (!c.closing && c.out.size() - c.out_ofs < kOutHighWater) {
+      if (c.scan) {
+        emit_scan_chunk(c);
+        continue;
+      }
+      Request req;
+      const Pull pull = pull_request(c, req);
+      if (pull == Pull::kNone) break;
+      if (pull == Pull::kBadFrame || pull == Pull::kBadBody) {
+        poisoned = true;
+        poison_code =
+            pull == Pull::kBadFrame ? Err::kBadFrame : Err::kBadBody;
+        break;
+      }
+      if (req.op == Op::kScan) {
+        start_scan(c, req);
+        continue;
+      }
+      if (req.op == Op::kTxn) {
+        exec_txn(req, c.out);
+        server.ops_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      // Point op: fuse the rest of the pipelined burst into one txn.
+      batch.clear();
+      batch.push_back(std::move(req));
+      while (batch.size() < server.opts_.max_batch && peek_point(c)) {
+        Request next;
+        const Pull more = pull_request(c, next);
+        if (more != Pull::kReq) {
+          // peek said complete+point, so only a malformed body lands
+          // here; answer the sound prefix first, then poison.
+          poisoned = true;
+          poison_code = Err::kBadBody;
+          break;
+        }
+        batch.push_back(std::move(next));
+      }
+      exec_point_batch(c.out);
+      server.ops_.fetch_add(batch.size(), std::memory_order_relaxed);
+      if (poisoned) break;
+    }
+    if (poisoned) {
+      append_error(c.out, poison_code);
+      c.closing = true;
+      server.errored_.fetch_add(1, std::memory_order_relaxed);
+    }
+    // Compact the consumed prefix so the buffer never creeps.
+    if (c.in_ofs > 0) {
+      c.in.erase(c.in.begin(),
+                 c.in.begin() + static_cast<std::ptrdiff_t>(c.in_ofs));
+      c.in_ofs = 0;
+    }
+  }
+
+  /// Execute `batch` (point ops only) as ONE transaction and append
+  /// the per-op response frames in order. The closure may re-run on
+  /// conflict, so results are (re)collected per attempt and frames are
+  /// built only after the commit.
+  void exec_point_batch(std::vector<std::uint8_t>& out) {
+    Server::MapType& map = server.map_;
+    leap::txn([&](stm::Tx& tx) {
+      results.clear();
+      for (const Request& req : batch) {
+        TxnResult r;
+        switch (req.op) {
+          case Op::kGet: {
+            const auto hit = map.get_in(tx, req.key);
+            r.flag = hit.has_value() ? 1 : 0;
+            r.value = hit.value_or(0);
+            break;
+          }
+          case Op::kPut:
+            r.flag = map.insert_in(tx, req.key, req.value) ? 1 : 0;
+            break;
+          default:  // kErase; parse_request admits nothing else here
+            r.flag = map.erase_in(tx, req.key) ? 1 : 0;
+            break;
+        }
+        results.push_back(r);
+      }
+    });
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      switch (batch[i].op) {
+        case Op::kGet:
+          if (results[i].flag) {
+            append_found(out, results[i].value);
+          } else {
+            append_miss(out);
+          }
+          break;
+        default:
+          append_ok(out, results[i].flag != 0);
+          break;
+      }
+    }
+  }
+
+  /// The multi-key transaction opcode: all sub-ops in one leap::txn —
+  /// the paper's composable atomicity, across shards, over the wire.
+  void exec_txn(const Request& req, std::vector<std::uint8_t>& out) {
+    Server::MapType& map = server.map_;
+    leap::txn([&](stm::Tx& tx) {
+      results.clear();
+      for (const TxnOp& op : req.txn) {
+        TxnResult r;
+        switch (op.op) {
+          case Op::kGet: {
+            const auto hit = map.get_in(tx, op.key);
+            r.flag = hit.has_value() ? 1 : 0;
+            r.value = hit.value_or(0);
+            break;
+          }
+          case Op::kPut:
+            r.flag = map.insert_in(tx, op.key, op.value) ? 1 : 0;
+            break;
+          default:  // kErase; parse_request rejects the rest
+            r.flag = map.erase_in(tx, op.key) ? 1 : 0;
+            break;
+        }
+        results.push_back(r);
+      }
+    });
+    append_txn_done(out, req.txn, results);
+  }
+
+  void start_scan(Conn& c, const Request& req) {
+    ScanState s;
+    s.next_low = req.low;
+    s.high = req.high;
+    s.bounded = req.limit != 0;
+    s.remaining = req.limit;
+    c.scan = s;
+  }
+
+  /// Produce the next chunk of an in-flight scan: one bounded stitched
+  /// transaction per chunk (kScanChunkPairs caps both the txn's read
+  /// span and the buffered pairs). A scan whose whole result fits one
+  /// chunk is answered by a single transaction — fully linearizable;
+  /// longer streams are consistent per chunk (docs/server.md).
+  void emit_scan_chunk(Conn& c) {
+    ScanState& s = *c.scan;
+    const std::size_t cap =
+        s.bounded ? static_cast<std::size_t>(
+                        std::min<std::uint64_t>(kScanChunkPairs, s.remaining))
+                  : kScanChunkPairs;
+    if (cap == 0 || s.next_low > s.high) {
+      append_scan_pairs(c.out, nullptr, 0, true);
+      finish_scan(c);
+      return;
+    }
+    scan_buf.clear();
+    server.map_.scan(s.next_low, cap, scan_buf);
+    // scan() is bounded below only; clip the tail past `high`.
+    std::size_t n = scan_buf.size();
+    while (n > 0 && scan_buf[n - 1].first > s.high) --n;
+    bool done = n < scan_buf.size()          // clipped at high
+                || scan_buf.size() < cap     // map exhausted
+                || scan_buf[n - 1].first >= s.high;
+    if (!done && s.bounded) {
+      s.remaining -= n;
+      done = s.remaining == 0;
+    }
+    if (!done) s.next_low = scan_buf[n - 1].first + 1;
+    append_scan_pairs(c.out, scan_buf.data(), n, done);
+    if (done) finish_scan(c);
+  }
+
+  void finish_scan(Conn& c) {
+    c.scan.reset();
+    server.ops_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Write queued output. False = the connection was closed (hard
+  /// error, or it was draining toward close and is now drained).
+  bool flush_some(Conn& c) {
+    while (c.out_ofs < c.out.size()) {
+      const ssize_t n = ::send(c.fd, c.out.data() + c.out_ofs,
+                               c.out.size() - c.out_ofs, MSG_NOSIGNAL);
+      if (n > 0) {
+        c.out_ofs += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      close_conn(c);
+      return false;
+    }
+    if (c.out_ofs == c.out.size()) {
+      c.out.clear();
+      c.out_ofs = 0;
+      if (c.closing && !c.scan.has_value()) {
+        close_conn(c);
+        return false;
+      }
+    } else if (c.out_ofs > kOutHighWater) {
+      c.out.erase(c.out.begin(),
+                  c.out.begin() + static_cast<std::ptrdiff_t>(c.out_ofs));
+      c.out_ofs = 0;
+    }
+    return true;
+  }
+
+  void update_interest(Conn& c) {
+    std::uint32_t want = 0;
+    if (!c.closing && !c.peer_eof && c.in.size() < kInHighWater) {
+      want |= EPOLLIN;
+    }
+    if (c.out_ofs < c.out.size()) want |= EPOLLOUT;
+    if (want == c.armed) return;
+    epoll_event ev{};
+    ev.events = want;
+    ev.data.ptr = &c;
+    ::epoll_ctl(epoll_fd, EPOLL_CTL_MOD, c.fd, &ev);
+    c.armed = want;
+  }
+};
+
+Server::Server(const ServerOptions& opts)
+    : opts_(opts),
+      map_({.shards = opts.shards, .params = opts.params}, opts.key_lo,
+           opts.key_hi) {}
+
+Server::~Server() { stop(); }
+
+bool Server::start(std::string* error) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                        0);
+  if (listen_fd_ < 0) {
+    if (error) *error = "socket() failed";
+    return false;
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(opts_.port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 1024) != 0) {
+    if (error) *error = std::string("bind/listen failed: ") + strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  socklen_t addr_len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &addr_len);
+  port_ = ntohs(addr.sin_port);
+
+  running_.store(true, std::memory_order_release);
+  const unsigned workers = opts_.workers < 1 ? 1 : opts_.workers;
+  for (unsigned w = 0; w < workers; ++w) {
+    auto worker = std::make_unique<Worker>(*this);
+    if (!worker->init(error)) {
+      running_.store(false, std::memory_order_release);
+      stop();
+      return false;
+    }
+    workers_.push_back(std::move(worker));
+  }
+  for (auto& worker : workers_) {
+    worker->thread = std::thread([w = worker.get()] { w->run(); });
+  }
+  return true;
+}
+
+void Server::stop() {
+  running_.store(false, std::memory_order_release);
+  for (auto& worker : workers_) worker->wake();
+  for (auto& worker : workers_) {
+    if (worker->thread.joinable()) worker->thread.join();
+  }
+  workers_.clear();  // Worker dtors close epoll/event/conn fds
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+ServerStats Server::stats() const {
+  ServerStats s;
+  s.ops = ops_.load(std::memory_order_relaxed);
+  s.accepted = accepted_.load(std::memory_order_relaxed);
+  s.errored = errored_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace leap::net

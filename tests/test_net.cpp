@@ -1,0 +1,634 @@
+// Loopback battery for the net serving layer: protocol framing
+// round-trips, the epoll server's pipelining/burst batching, chunked
+// scan streaming, multi-key txn atomicity observed across connections,
+// a concurrent-clients fuzz against std::map oracles, and the
+// robustness cases — truncated/partial frames, oversized length
+// prefixes, garbage opcodes, mid-request disconnects — all of which
+// must error out one connection without crashing, leaking, or
+// disturbing the others.
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "leaplist/net/client.hpp"
+#include "leaplist/net/protocol.hpp"
+#include "leaplist/net/server.hpp"
+#include "test_common.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace leap::net;
+
+ServerOptions test_options() {
+  ServerOptions opts;
+  opts.port = 0;
+  opts.workers = 2;
+  opts.shards = 4;
+  opts.key_hi = 1'000'000;
+  return opts;
+}
+
+// --- framing / codec round-trips (no sockets) -------------------------
+
+void test_request_round_trip() {
+  std::vector<std::uint8_t> buf;
+  append_get(buf, -5);
+  append_put(buf, 42, -99);
+  append_erase(buf, 7);
+  append_scan(buf, 10, 20, 3);
+  const std::vector<TxnOp> ops = {
+      {Op::kGet, 1, 0}, {Op::kPut, 2, 22}, {Op::kErase, 3, 0}};
+  append_txn(buf, ops);
+
+  std::size_t at = 0;
+  auto pull = [&]() {
+    std::size_t len = 0;
+    CHECK(split_frame(buf.data() + at, buf.size() - at, len) ==
+          FrameState::kReady);
+    auto req = parse_request(buf.data() + at + 4, len);
+    at += 4 + len;
+    CHECK(req.has_value());
+    return *req;
+  };
+  const Request get = pull();
+  CHECK(get.op == Op::kGet);
+  CHECK_EQ(get.key, -5);
+  const Request put = pull();
+  CHECK(put.op == Op::kPut);
+  CHECK_EQ(put.key, 42);
+  CHECK_EQ(put.value, -99);
+  const Request erase = pull();
+  CHECK(erase.op == Op::kErase);
+  CHECK_EQ(erase.key, 7);
+  const Request scan = pull();
+  CHECK(scan.op == Op::kScan);
+  CHECK_EQ(scan.low, 10);
+  CHECK_EQ(scan.high, 20);
+  CHECK_EQ(scan.limit, 3u);
+  const Request txn = pull();
+  CHECK(txn.op == Op::kTxn);
+  CHECK_EQ(txn.txn.size(), std::size_t{3});
+  CHECK(txn.txn[1].op == Op::kPut);
+  CHECK_EQ(txn.txn[1].value, 22);
+  CHECK_EQ(at, buf.size());
+}
+
+void test_response_round_trip() {
+  std::vector<std::uint8_t> buf;
+  append_ok(buf, true);
+  append_found(buf, -12345);
+  append_miss(buf);
+  const std::pair<std::int64_t, std::int64_t> chunk_pairs[] = {{1, 10},
+                                                               {2, 20}};
+  append_scan_pairs(buf, chunk_pairs, 2, false);
+  append_scan_pairs(buf, nullptr, 0, true);
+  const std::vector<TxnOp> ops = {{Op::kGet, 1, 0}, {Op::kPut, 2, 5}};
+  const std::vector<TxnResult> results = {{1, 77}, {0, 0}};
+  append_txn_done(buf, ops, results);
+  append_error(buf, Err::kBadOpcode);
+
+  std::size_t at = 0;
+  auto pull = [&](const std::vector<TxnOp>* txn_ops) {
+    std::size_t len = 0;
+    CHECK(split_frame(buf.data() + at, buf.size() - at, len) ==
+          FrameState::kReady);
+    auto resp = parse_response(buf.data() + at + 4, len, txn_ops);
+    at += 4 + len;
+    CHECK(resp.has_value());
+    return *resp;
+  };
+  const Response ok = pull(nullptr);
+  CHECK(ok.status == Status::kOk);
+  CHECK_EQ(ok.flag, 1);
+  const Response found = pull(nullptr);
+  CHECK(found.status == Status::kFound);
+  CHECK_EQ(found.value, -12345);
+  CHECK(pull(nullptr).status == Status::kMiss);
+  const Response chunk = pull(nullptr);
+  CHECK(chunk.status == Status::kScanChunk);
+  CHECK_EQ(chunk.pairs.size(), std::size_t{2});
+  CHECK_EQ(chunk.pairs[1].second, 20);
+  const Response done = pull(nullptr);
+  CHECK(done.status == Status::kScanDone);
+  CHECK(done.pairs.empty());
+  const Response txn = pull(&ops);
+  CHECK(txn.status == Status::kTxnDone);
+  CHECK_EQ(txn.results.size(), std::size_t{2});
+  CHECK_EQ(txn.results[0].flag, 1);
+  CHECK_EQ(txn.results[0].value, 77);
+  CHECK_EQ(txn.results[1].flag, 0);
+  const Response error = pull(nullptr);
+  CHECK(error.status == Status::kError);
+  CHECK_EQ(error.error, static_cast<std::uint8_t>(Err::kBadOpcode));
+  CHECK_EQ(at, buf.size());
+}
+
+void test_parser_rejects_malformed() {
+  // Truncated bodies: every strict prefix of a valid put payload fails.
+  std::vector<std::uint8_t> frame;
+  append_put(frame, 1, 2);
+  const std::uint8_t* payload = frame.data() + 4;
+  const std::size_t payload_len = frame.size() - 4;
+  for (std::size_t n = 0; n < payload_len; ++n) {
+    CHECK(!parse_request(payload, n).has_value());
+  }
+  CHECK(parse_request(payload, payload_len).has_value());
+  // Trailing garbage fails too: a frame decodes exactly or not at all.
+  std::vector<std::uint8_t> fat(payload, payload + payload_len);
+  fat.push_back(0);
+  CHECK(!parse_request(fat.data(), fat.size()).has_value());
+  // Unknown opcode.
+  const std::uint8_t garbage[] = {0x7f, 0, 0, 0, 0, 0, 0, 0, 0};
+  CHECK(!parse_request(garbage, sizeof(garbage)).has_value());
+  // Oversized and zero length prefixes poison the stream.
+  std::vector<std::uint8_t> huge;
+  put_u32(huge, kMaxFrameBytes + 1);
+  std::size_t len = 0;
+  CHECK(split_frame(huge.data(), huge.size(), len) == FrameState::kBad);
+  std::vector<std::uint8_t> zero;
+  put_u32(zero, 0);
+  CHECK(split_frame(zero.data(), zero.size(), len) == FrameState::kBad);
+  // A txn claiming more sub-ops than it carries.
+  std::vector<std::uint8_t> short_txn;
+  put_u8(short_txn, static_cast<std::uint8_t>(Op::kTxn));
+  put_u16(short_txn, 5);
+  put_u8(short_txn, static_cast<std::uint8_t>(Op::kGet));
+  put_i64(short_txn, 1);
+  CHECK(!parse_request(short_txn.data(), short_txn.size()).has_value());
+  // A txn smuggling a non-point sub-op.
+  std::vector<std::uint8_t> nested;
+  put_u8(nested, static_cast<std::uint8_t>(Op::kTxn));
+  put_u16(nested, 1);
+  put_u8(nested, static_cast<std::uint8_t>(Op::kScan));
+  put_i64(nested, 1);
+  CHECK(!parse_request(nested.data(), nested.size()).has_value());
+}
+
+// --- loopback: basic semantics ---------------------------------------
+
+void test_point_ops(Server& server) {
+  Client client;
+  CHECK(client.connect("127.0.0.1", server.port()));
+  CHECK(!client.get(111).has_value());
+  CHECK(client.put(111, 1000));
+  CHECK(!client.put(111, 2000));  // overwrite reports "not inserted"
+  const auto hit = client.get(111);
+  CHECK(hit.has_value());
+  CHECK_EQ(*hit, 2000);
+  CHECK(client.erase(111));
+  CHECK(!client.erase(111));
+  CHECK(!client.get(111).has_value());
+  CHECK(!client.failed());
+}
+
+void test_pipelined_burst(Server& server) {
+  // One syscall burst of mixed point ops. The server fuses the burst
+  // into single-txn batches, so responses must come back in order AND
+  // read-your-writes must hold within the burst — both checkable
+  // against a sequential std::map replay.
+  Client client;
+  CHECK(client.connect("127.0.0.1", server.port()));
+  std::map<std::int64_t, std::int64_t> oracle;
+  leap::util::Xoshiro256 rng(123);
+  struct Sent {
+    Op op;
+    std::int64_t key;
+    bool flag;
+    std::int64_t value;
+  };
+  std::vector<Sent> sent;
+  for (int i = 0; i < 300; ++i) {
+    const std::int64_t key =
+        5000 + static_cast<std::int64_t>(rng.next_below(64));
+    const int dial = static_cast<int>(rng.next_below(3));
+    if (dial == 0) {
+      const std::int64_t value = static_cast<std::int64_t>(rng.next());
+      const bool inserted = oracle.insert_or_assign(key, value).second;
+      client.queue_put(key, value);
+      sent.push_back({Op::kPut, key, inserted, 0});
+    } else if (dial == 1) {
+      const bool erased = oracle.erase(key) > 0;
+      client.queue_erase(key);
+      sent.push_back({Op::kErase, key, erased, 0});
+    } else {
+      const auto it = oracle.find(key);
+      const bool found = it != oracle.end();
+      client.queue_get(key);
+      sent.push_back({Op::kGet, key, found, found ? it->second : 0});
+    }
+  }
+  CHECK(client.flush());
+  for (const Sent& s : sent) {
+    const auto resp = client.read_response();
+    CHECK(resp.has_value());
+    if (s.op == Op::kGet) {
+      if (s.flag) {
+        CHECK(resp->status == Status::kFound);
+        CHECK_EQ(resp->value, s.value);
+      } else {
+        CHECK(resp->status == Status::kMiss);
+      }
+    } else {
+      CHECK(resp->status == Status::kOk);
+      CHECK_EQ(resp->flag, s.flag ? 1 : 0);
+    }
+  }
+  // Clean the stripe so later tests see a predictable map.
+  for (const auto& entry : oracle) CHECK(client.erase(entry.first));
+  CHECK(!client.failed());
+}
+
+void test_scan_streams_chunks(Server& server) {
+  Client client;
+  CHECK(client.connect("127.0.0.1", server.port()));
+  const std::int64_t base = 200'000;
+  const std::int64_t count = 2000;  // > kScanChunkPairs → several chunks
+  for (std::int64_t i = 0; i < count; ++i) client.queue_put(base + 2 * i, i);
+  CHECK(client.flush());
+  for (std::int64_t i = 0; i < count; ++i) {
+    const auto resp = client.read_response();
+    CHECK(resp.has_value());
+    CHECK(resp->status == Status::kOk);
+  }
+  // Unlimited scan: every pair, in order, across multiple chunk frames.
+  std::vector<std::pair<std::int64_t, std::int64_t>> pairs;
+  CHECK_EQ(client.scan(base, base + 2 * count, 0, pairs),
+           static_cast<std::ptrdiff_t>(count));
+  for (std::int64_t i = 0; i < count; ++i) {
+    CHECK_EQ(pairs[static_cast<std::size_t>(i)].first, base + 2 * i);
+    CHECK_EQ(pairs[static_cast<std::size_t>(i)].second, i);
+  }
+  // A bounded scan honors the limit exactly (limit > one chunk, so the
+  // remaining-count must survive across chunk transactions).
+  pairs.clear();
+  CHECK_EQ(client.scan(base, base + 2 * count, 700, pairs),
+           static_cast<std::ptrdiff_t>(700));
+  CHECK_EQ(pairs[699].first, base + 2 * 699);
+  // An inverted range answers an empty ScanDone, not an error.
+  pairs.clear();
+  CHECK_EQ(client.scan(base + 100, base, 0, pairs),
+           static_cast<std::ptrdiff_t>(0));
+  // The range is inclusive on both ends: a singleton scan hits.
+  pairs.clear();
+  CHECK_EQ(client.scan(base + 2, base + 2, 0, pairs),
+           static_cast<std::ptrdiff_t>(1));
+  CHECK_EQ(pairs[0].first, base + 2);
+  for (std::int64_t i = 0; i < count; ++i) client.queue_erase(base + 2 * i);
+  CHECK(client.flush());
+  for (std::int64_t i = 0; i < count; ++i) {
+    CHECK(client.read_response().has_value());
+  }
+  CHECK(!client.failed());
+}
+
+// --- loopback: concurrency -------------------------------------------
+
+void test_concurrent_clients_vs_oracle(Server& server) {
+  // Each thread owns a disjoint key stripe on its own connection, so
+  // every response is checkable against a thread-local std::map oracle
+  // even under full concurrency; a final scan cross-checks the union.
+  const auto window =
+      leap::test::stress_duration(std::chrono::milliseconds(300));
+  constexpr int kThreads = 4;
+  constexpr std::int64_t kStripe = 4096;
+  std::vector<std::map<std::int64_t, std::int64_t>> oracles(kThreads);
+  std::vector<std::thread> threads;
+  std::atomic<bool> failed{false};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Client client;
+      if (!client.connect("127.0.0.1", server.port())) {
+        failed.store(true);
+        return;
+      }
+      std::map<std::int64_t, std::int64_t>& oracle = oracles[t];
+      // Stripes sit far apart so several map shards see traffic.
+      const std::int64_t base = 300'000 + t * 150'000;
+      leap::util::Xoshiro256 rng(0xace0 + t);
+      const auto deadline = std::chrono::steady_clock::now() + window;
+      while (std::chrono::steady_clock::now() < deadline) {
+        // A pipelined window of 32 ops, then verify all 32 responses.
+        struct Sent {
+          Op op;
+          bool flag;
+          std::int64_t value;
+        };
+        std::vector<Sent> sent;
+        for (int i = 0; i < 32; ++i) {
+          const std::int64_t key =
+              base + static_cast<std::int64_t>(rng.next_below(kStripe));
+          const int dial = static_cast<int>(rng.next_below(4));
+          if (dial == 0) {
+            const auto it = oracle.find(key);
+            const bool found = it != oracle.end();
+            client.queue_get(key);
+            sent.push_back({Op::kGet, found, found ? it->second : 0});
+          } else if (dial == 3) {
+            const bool erased = oracle.erase(key) > 0;
+            client.queue_erase(key);
+            sent.push_back({Op::kErase, erased, 0});
+          } else {
+            const std::int64_t value = static_cast<std::int64_t>(rng.next());
+            const bool inserted = oracle.insert_or_assign(key, value).second;
+            client.queue_put(key, value);
+            sent.push_back({Op::kPut, inserted, 0});
+          }
+        }
+        if (!client.flush()) {
+          failed.store(true);
+          return;
+        }
+        for (const Sent& s : sent) {
+          const auto resp = client.read_response();
+          bool ok = resp.has_value();
+          if (ok && s.op == Op::kGet) {
+            ok = s.flag ? (resp->status == Status::kFound &&
+                           resp->value == s.value)
+                        : resp->status == Status::kMiss;
+          } else if (ok) {
+            ok = resp->status == Status::kOk &&
+                 resp->flag == (s.flag ? 1 : 0);
+          }
+          if (!ok) {
+            failed.store(true);
+            return;
+          }
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  CHECK(!failed.load());
+  // Cross-check the union of oracles through a fresh connection.
+  std::map<std::int64_t, std::int64_t> want;
+  for (const auto& oracle : oracles) {
+    want.insert(oracle.begin(), oracle.end());
+  }
+  Client checker;
+  CHECK(checker.connect("127.0.0.1", server.port()));
+  std::vector<std::pair<std::int64_t, std::int64_t>> got;
+  CHECK(checker.scan(300'000, 300'000 + kThreads * 150'000, 0, got) >= 0);
+  CHECK_EQ(got.size(), want.size());
+  auto it = want.begin();
+  for (const auto& [key, value] : got) {
+    CHECK_EQ(key, it->first);
+    CHECK_EQ(value, it->second);
+    ++it;
+  }
+  for (const auto& entry : want) CHECK(checker.erase(entry.first));
+}
+
+void test_txn_atomicity_across_connections(Server& server) {
+  // A token bounces between two keys in different map shards via the
+  // Txn opcode; reader connections snapshot both keys in one txn and
+  // must see the token in EXACTLY one place at every instant.
+  const std::int64_t key_a = 1'000;
+  const std::int64_t key_b = 900'000;  // other end of the key window
+  CHECK(server.map().shard_of(key_a) != server.map().shard_of(key_b));
+  {
+    Client setup;
+    CHECK(setup.connect("127.0.0.1", server.port()));
+    CHECK(setup.put(key_a, 7777));
+  }
+  const auto window =
+      leap::test::stress_duration(std::chrono::milliseconds(300));
+  std::atomic<bool> stop{false};
+  std::atomic<bool> failed{false};
+  std::atomic<std::uint64_t> moves{0};
+  std::thread mover([&] {
+    Client client;
+    if (!client.connect("127.0.0.1", server.port())) {
+      failed.store(true);
+      return;
+    }
+    std::int64_t from = key_a;
+    std::int64_t to = key_b;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const std::vector<TxnOp> ops = {
+          {Op::kErase, from, 0},
+          {Op::kPut, to, 7777},
+      };
+      const auto results = client.txn(ops);
+      if (!results || !(*results)[0].flag || !(*results)[1].flag) {
+        failed.store(true);
+        return;
+      }
+      moves.fetch_add(1, std::memory_order_relaxed);
+      std::swap(from, to);
+    }
+  });
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&] {
+      Client client;
+      if (!client.connect("127.0.0.1", server.port())) {
+        failed.store(true);
+        return;
+      }
+      const std::vector<TxnOp> probe = {
+          {Op::kGet, key_a, 0},
+          {Op::kGet, key_b, 0},
+      };
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto results = client.txn(probe);
+        if (!results) {
+          failed.store(true);
+          return;
+        }
+        const int present =
+            ((*results)[0].flag ? 1 : 0) + ((*results)[1].flag ? 1 : 0);
+        const std::int64_t value =
+            (*results)[0].flag ? (*results)[0].value : (*results)[1].value;
+        if (present != 1 || value != 7777) {
+          failed.store(true);  // both, neither, or torn: not atomic
+          return;
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(window);
+  stop.store(true);
+  mover.join();
+  for (auto& reader : readers) reader.join();
+  CHECK(!failed.load());
+  CHECK(moves.load() > 0);
+  Client cleanup;
+  CHECK(cleanup.connect("127.0.0.1", server.port()));
+  cleanup.erase(key_a);
+  cleanup.erase(key_b);
+}
+
+// --- loopback: robustness --------------------------------------------
+
+void expect_connection_dies(Client& client) {
+  // The server answers an Error frame when the stream is still framed,
+  // then closes; either way the reads must terminate — no hang, no
+  // crash, and nothing after an Error.
+  for (int hops = 0; hops < 8; ++hops) {
+    const auto resp = client.read_response();
+    if (!resp) return;  // closed
+    if (resp->status == Status::kError) {
+      CHECK(!client.read_response().has_value());
+      return;
+    }
+  }
+  CHECK(false);  // the connection never died
+}
+
+void test_robustness(Server& server) {
+  const ServerStats before = server.stats();
+  {
+    // Oversized length prefix — nothing that big may even allocate.
+    Client client;
+    CHECK(client.connect("127.0.0.1", server.port()));
+    std::vector<std::uint8_t> evil;
+    put_u32(evil, kMaxFrameBytes + 7);
+    evil.push_back(1);
+    client.queue_raw(evil);
+    CHECK(client.flush());
+    expect_connection_dies(client);
+  }
+  {
+    // Zero-length frame.
+    Client client;
+    CHECK(client.connect("127.0.0.1", server.port()));
+    std::vector<std::uint8_t> evil;
+    put_u32(evil, 0);
+    client.queue_raw(evil);
+    CHECK(client.flush());
+    expect_connection_dies(client);
+  }
+  {
+    // Garbage opcode after a sound request: the sound one is answered,
+    // then the stream errors out.
+    Client client;
+    CHECK(client.connect("127.0.0.1", server.port()));
+    client.queue_put(31337, 1);
+    std::vector<std::uint8_t> evil;
+    put_u32(evil, 1);
+    evil.push_back(0xEE);
+    client.queue_raw(evil);
+    CHECK(client.flush());
+    const auto first = client.read_response();
+    CHECK(first.has_value());
+    CHECK(first->status == Status::kOk);
+    expect_connection_dies(client);
+  }
+  {
+    // Malformed body (a get with a short key).
+    Client client;
+    CHECK(client.connect("127.0.0.1", server.port()));
+    std::vector<std::uint8_t> evil;
+    put_u32(evil, 3);
+    evil.push_back(static_cast<std::uint8_t>(Op::kGet));
+    evil.push_back(1);
+    evil.push_back(2);
+    client.queue_raw(evil);
+    CHECK(client.flush());
+    expect_connection_dies(client);
+  }
+  {
+    // Mid-request disconnect: a frame promising 12 bytes delivers 3,
+    // then the peer vanishes. The server just drops the half frame.
+    Client client;
+    CHECK(client.connect("127.0.0.1", server.port()));
+    std::vector<std::uint8_t> partial;
+    put_u32(partial, 12);
+    partial.push_back(static_cast<std::uint8_t>(Op::kGet));
+    partial.push_back(0);
+    partial.push_back(0);
+    client.queue_raw(partial);
+    CHECK(client.flush());
+    client.close();
+  }
+  {
+    // Disconnect mid-scan: request a big stream, read one frame, bail
+    // while the server still has chunks queued for this connection.
+    Client seeder;
+    CHECK(seeder.connect("127.0.0.1", server.port()));
+    for (int i = 0; i < 1500; ++i) seeder.queue_put(600'000 + i, i);
+    CHECK(seeder.flush());
+    for (int i = 0; i < 1500; ++i) {
+      CHECK(seeder.read_response().has_value());
+    }
+    Client client;
+    CHECK(client.connect("127.0.0.1", server.port()));
+    client.queue_scan(600'000, 602'000, 0);
+    CHECK(client.flush());
+    CHECK(client.read_response().has_value());  // first chunk only
+    client.close();
+    for (int i = 0; i < 1500; ++i) seeder.queue_erase(600'000 + i);
+    CHECK(seeder.flush());
+    for (int i = 0; i < 1500; ++i) {
+      CHECK(seeder.read_response().has_value());
+    }
+  }
+  {
+    // A request split across many tiny writes still parses — the
+    // server must buffer partial frames indefinitely, not error them.
+    Client client;
+    CHECK(client.connect("127.0.0.1", server.port()));
+    std::vector<std::uint8_t> frame;
+    append_put(frame, 777, 888);
+    for (const std::uint8_t byte : frame) {
+      client.queue_raw({byte});
+      CHECK(client.flush());
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    const auto resp = client.read_response();
+    CHECK(resp.has_value());
+    CHECK(resp->status == Status::kOk);
+    CHECK(client.erase(777));
+  }
+  // The abuse above errored out connections but never the server:
+  // fresh connections still serve, and the error counter moved.
+  Client survivor;
+  CHECK(survivor.connect("127.0.0.1", server.port()));
+  CHECK(survivor.put(1, 2));
+  CHECK(survivor.erase(1));
+  CHECK(server.stats().errored >= before.errored + 4);
+}
+
+void test_stop_with_live_connections() {
+  Server server(test_options());
+  CHECK(server.start());
+  Client client;
+  CHECK(client.connect("127.0.0.1", server.port()));
+  CHECK(client.put(5, 50));
+  server.stop();
+  // The peer observes the close; the client object just fails cleanly.
+  CHECK(!client.get(5).has_value());
+  CHECK(client.failed());
+}
+
+}  // namespace
+
+int main() {
+  test_request_round_trip();
+  test_response_round_trip();
+  test_parser_rejects_malformed();
+
+  {
+    Server server(test_options());
+    std::string error;
+    if (!server.start(&error)) {
+      leap::test::fail(__FILE__, __LINE__, "server start: " + error);
+    }
+    test_point_ops(server);
+    test_pipelined_burst(server);
+    test_scan_streams_chunks(server);
+    test_concurrent_clients_vs_oracle(server);
+    test_txn_atomicity_across_connections(server);
+    test_robustness(server);
+    server.stop();
+    CHECK(server.stats().ops > 0);
+  }
+  test_stop_with_live_connections();
+
+  return leap::test::finish("test_net");
+}
