@@ -10,19 +10,27 @@
 //   open loop     --rate R total ops/sec scheduled on a clock;
 //                 latency is measured from the SCHEDULED send instant,
 //                 so queueing delay under overload is charged to the
-//                 server (no coordinated omission).
+//                 server (no coordinated omission). The schedule is
+//                 monotone even when the outstanding window is full:
+//                 an op whose slot can't be sent is counted DROPPED
+//                 and the clock still advances — never frozen.
 //
 // Each thread owns one connection and an event-driven poll() loop;
 // latency is recorded per response (a multi-chunk scan counts once, at
 // its ScanDone) into the harness log-domain histogram, reported as
-// p50/p99/p999 with throughput. --sweep runs the recorded-trajectory
-// grid (threads x pipeline) used by bench/record_bench.sh; exit status
-// is nonzero when any connection failed or no ops completed, so CI can
-// gate on it.
+// p50/p99/p999 with goodput. A response of Err::kOverloaded counts as
+// SHED (the op completed unsuccessfully but honestly), not a failure.
+// --sweep runs the recorded-trajectory grid (threads x pipeline) used
+// by bench/record_bench.sh; --loadcurve first saturates the server
+// closed-loop to calibrate, then replays an open-loop offered-load
+// grid at fractions of that saturation rate (the tail-latency-vs-load
+// curve). Exit status is nonzero when any connection failed or no ops
+// completed, so CI can gate on it. After the runs, the server's own
+// counters are fetched via the Stats opcode and printed as one line.
 //
 //   leap-loadgen --port P [--host 127.0.0.1] [--threads N] [--seconds S]
 //     [--pipeline D] [--rate R] [--keys K] [--preload N]
-//     [--mix get:put:erase:scan:txn] [--sweep]
+//     [--mix get:put:erase:scan:txn] [--sweep] [--loadcurve]
 #include <poll.h>
 
 #include <cstdio>
@@ -63,7 +71,9 @@ struct GenConfig {
 };
 
 struct GenResult {
-  std::uint64_t ops = 0;
+  std::uint64_t ops = 0;       // completed responses (goodput)
+  std::uint64_t shed = 0;      // Err::kOverloaded responses
+  std::uint64_t dropped = 0;   // open-loop slots skipped, window full
   std::uint64_t failures = 0;  // connection-level failures
   double seconds = 0;
   leap::harness::LatencyHistogram hist;
@@ -150,7 +160,18 @@ GenResult run_conn(const GenConfig& cfg, unsigned index,
     // Enqueue new requests per the arrival model.
     if (sending) {
       if (open_loop) {
-        while (next_sched <= now && pending.size() < kMaxOutstanding) {
+        // The schedule advances unconditionally — freezing next_sched
+        // while the window is full would time later ops from a
+        // postponed schedule and under-report latency at exactly the
+        // loads where it matters (coordinated omission). A slot that
+        // finds the window full is a DROPPED send, counted and
+        // reported, and the clock keeps ticking.
+        while (next_sched <= now) {
+          if (pending.size() >= kMaxOutstanding) {
+            result.dropped += 1;
+            next_sched += interval_ns;
+            continue;
+          }
           build_request(out, cfg, rng);
           pending.push_back(next_sched);
           next_sched += interval_ns;
@@ -226,8 +247,19 @@ GenResult run_conn(const GenConfig& cfg, unsigned index,
       }
       if (state == FrameState::kNeedMore) break;
       const Status status = static_cast<Status>(in[in_ofs + 4]);
+      const std::uint8_t err_code = len >= 2 ? in[in_ofs + 5] : 0;
       in_ofs += 4 + len;
       if (status == Status::kScanChunk) continue;  // op not complete yet
+      if (status == Status::kError &&
+          static_cast<Err>(err_code) == Err::kOverloaded &&
+          !pending.empty()) {
+        // Admission control answered this op in its FIFO slot; the
+        // connection survives. Count it shed — not goodput, not a
+        // failure — and keep going.
+        pending.pop_front();
+        result.shed += 1;
+        continue;
+      }
       if (status == Status::kError || pending.empty()) {
         result.failures += 1;
         return result;
@@ -292,6 +324,8 @@ GenResult run_config(const GenConfig& cfg) {
   merged.seconds = static_cast<double>(now_ns() - start) / 1e9;
   for (const GenResult& r : per_thread) {
     merged.ops += r.ops;
+    merged.shed += r.shed;
+    merged.dropped += r.dropped;
     merged.failures += r.failures;
     merged.hist.merge(r.hist);
   }
@@ -356,46 +390,83 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  struct Point {
-    unsigned threads;
-    std::size_t pipeline;
+  /// One measured configuration: a label for the table/JSON plus the
+  /// config to run (rate > 0 = open loop at that offered load).
+  struct Run {
+    std::string label;
+    GenConfig cfg;
   };
-  std::vector<Point> grid;
-  if (flag_arg(argc, argv, "--sweep")) {
+  std::vector<Run> runs;
+  const bool loadcurve = flag_arg(argc, argv, "--loadcurve");
+  double saturation_ops = 0;
+  if (loadcurve) {
+    // Calibrate: saturate closed-loop to find this host's ceiling,
+    // then offer open-loop load at fractions of it — the honest
+    // tail-latency-vs-offered-load curve (below and past saturation).
+    GenConfig cal = base;
+    cal.rate = 0;
+    cal.seconds = smoke ? 0.5 : std::min(base.seconds, 3.0);
+    const GenResult calres = run_config(cal);
+    if (calres.seconds <= 0 || calres.ops == 0) {
+      std::fprintf(stderr, "leap-loadgen: calibration run failed\n");
+      return 1;
+    }
+    saturation_ops = static_cast<double>(calres.ops) / calres.seconds;
+    const std::vector<double> fractions =
+        smoke ? std::vector<double>{1.0, 2.0}
+              : std::vector<double>{0.5, 0.9, 1.5, 2.0};
+    for (const double f : fractions) {
+      GenConfig cfg = base;
+      cfg.rate = saturation_ops * f;
+      runs.push_back(
+          {"load" + std::to_string(static_cast<int>(f * 100)), cfg});
+    }
+  } else if (flag_arg(argc, argv, "--sweep")) {
     const std::vector<unsigned> thread_list =
         smoke ? std::vector<unsigned>{1, 2} : std::vector<unsigned>{1, 4, 8};
     const std::vector<std::size_t> pipe_list =
         smoke ? std::vector<std::size_t>{1, 8}
               : std::vector<std::size_t>{1, 16};
     for (const unsigned t : thread_list) {
-      for (const std::size_t p : pipe_list) grid.push_back({t, p});
+      for (const std::size_t p : pipe_list) {
+        GenConfig cfg = base;
+        cfg.threads = t;
+        cfg.pipeline = p;
+        runs.push_back(
+            {"t" + std::to_string(t) + "_p" + std::to_string(p), cfg});
+      }
     }
-    if (smoke) base.seconds = std::min(base.seconds, 0.5);
+    if (smoke) {
+      for (Run& r : runs) r.cfg.seconds = std::min(r.cfg.seconds, 0.5);
+    }
   } else {
-    grid.push_back({base.threads, base.pipeline});
+    runs.push_back({"t" + std::to_string(base.threads) + "_p" +
+                        std::to_string(base.pipeline),
+                    base});
   }
 
   leap::harness::print_figure_header(
       std::cout, "leap-loadgen: leapd throughput + tail latency",
-      base.rate > 0 ? "open loop (scheduled arrivals)"
-                    : "closed loop (pipelined)",
+      loadcurve ? "offered-load curve (open loop vs calibrated saturation)"
+                : (base.rate > 0 ? "open loop (scheduled arrivals)"
+                                 : "closed loop (pipelined)"),
       "pipelining multiplies throughput per connection (burst batching "
-      "commits a whole pipelined window in one server txn)");
-  leap::harness::Table table(
-      {"threads", "pipeline", "ops/s", "p50 us", "p99 us", "p999 us"});
+      "commits a whole pipelined window in one server txn); under "
+      "overload, shed counts admission-controlled ops and dropped "
+      "counts sends the full window forced the schedule to skip");
+  leap::harness::Table table({"label", "offered/s", "goodput/s", "shed",
+                              "dropped", "p50 us", "p99 us", "p999 us"});
 
   struct Recorded {
     std::string label;
+    double offered;  // ops/s offered (0 = closed loop)
     GenResult result;
   };
   std::vector<Recorded> recorded;
   std::uint64_t total_ops = 0;
   std::uint64_t total_failures = 0;
-  for (const Point& point : grid) {
-    GenConfig cfg = base;
-    cfg.threads = point.threads;
-    cfg.pipeline = point.pipeline;
-    const GenResult result = run_config(cfg);
+  for (const Run& run : runs) {
+    const GenResult result = run_config(run.cfg);
     total_ops += result.ops;
     total_failures += result.failures;
     const double ops_per_sec =
@@ -407,20 +478,42 @@ int main(int argc, char** argv) {
           << static_cast<double>(ns) / 1e3;
       return out.str();
     };
-    table.add_row({std::to_string(point.threads),
-                   std::to_string(point.pipeline),
+    table.add_row({run.label,
+                   run.cfg.rate > 0
+                       ? leap::harness::Table::format_ops(run.cfg.rate)
+                       : "closed",
                    leap::harness::Table::format_ops(ops_per_sec),
+                   std::to_string(result.shed),
+                   std::to_string(result.dropped),
                    us(result.hist.percentile(0.50)),
                    us(result.hist.percentile(0.99)),
                    us(result.hist.percentile(0.999))});
-    recorded.push_back({"t" + std::to_string(point.threads) + "_p" +
-                            std::to_string(point.pipeline),
-                        result});
+    recorded.push_back({run.label, run.cfg.rate, result});
   }
   table.print(std::cout);
   if (total_failures > 0) {
     std::fprintf(stderr, "leap-loadgen: %llu connection failures\n",
                  static_cast<unsigned long long>(total_failures));
+  }
+
+  // Fetch the server's own counters (the Stats opcode) so the run
+  // reports both sides of the story; scripts/net_smoke.sh greps this.
+  {
+    Client probe;
+    if (probe.connect(base.host, base.port)) {
+      if (const auto s = probe.stats()) {
+        std::printf(
+            "leap-loadgen: server stats ops=%llu shed=%llu "
+            "queue_hwm=%llu stm_retries=%llu accept_pauses=%llu "
+            "emfile_sheds=%llu\n",
+            static_cast<unsigned long long>(s->ops),
+            static_cast<unsigned long long>(s->shed),
+            static_cast<unsigned long long>(s->queue_hwm),
+            static_cast<unsigned long long>(s->stm_retries),
+            static_cast<unsigned long long>(s->accept_pauses),
+            static_cast<unsigned long long>(s->emfile_sheds));
+      }
+    }
   }
 
   if (const char* path = std::getenv("LEAP_BENCH_JSON")) {
@@ -433,8 +526,12 @@ int main(int argc, char** argv) {
         << base.mix.put << ":" << base.mix.erase << ":" << base.mix.scan
         << ":" << base.mix.txn << "\",\n"
         << "  \"seconds_per_point\": " << base.seconds << ",\n";
-    bool first = true;
     out << std::fixed;
+    if (loadcurve) {
+      out.precision(1);
+      out << "  \"saturation_ops_per_sec\": " << saturation_ops << ",\n";
+    }
+    bool first = true;
     for (const Recorded& r : recorded) {
       const double ops_per_sec =
           r.result.seconds > 0
@@ -442,7 +539,12 @@ int main(int argc, char** argv) {
               : 0;
       out << (first ? "" : ",\n");
       out.precision(1);
-      out << "  \"" << r.label << "_ops_per_sec\": " << ops_per_sec << ",\n"
+      out << "  \"" << r.label << "_offered_per_sec\": " << r.offered
+          << ",\n"
+          << "  \"" << r.label << "_ops_per_sec\": " << ops_per_sec << ",\n"
+          << "  \"" << r.label << "_shed\": " << r.result.shed << ",\n"
+          << "  \"" << r.label << "_dropped\": " << r.result.dropped
+          << ",\n"
           << "  \"" << r.label
           << "_p50_ns\": " << r.result.hist.percentile(0.50) << ",\n"
           << "  \"" << r.label

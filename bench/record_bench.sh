@@ -1,14 +1,15 @@
 #!/usr/bin/env bash
-# Record the repo's perf trajectory: run the shard-count sweep and the
-# network loadgen sweep, and write one combined JSON at the repo root.
+# Record the repo's perf trajectory: run the shard-count sweep, the
+# network loadgen sweep, and the offered-load (overload) curve, and
+# write one combined JSON at the repo root.
 #
 #   [BENCH_NAME=...] bench/record_bench.sh [build-dir]   (default: ./build)
 #
 # BENCH_NAME names the output file (default BENCH_LATEST → the rolling
 # CI artifact, gitignored). A PR that commits its trajectory sets a
-# frozen name instead, e.g. `BENCH_NAME=BENCH_PR6 bench/record_bench.sh`.
+# frozen name instead, e.g. `BENCH_NAME=BENCH_PR7 bench/record_bench.sh`.
 #
-# Two sweeps feed the file:
+# Three sweeps feed the file:
 #   * bench/abl_shard.cpp — leap::ShardedMap at S = 1..64 shards,
 #     8 threads, read-mostly and mixed. The *_scaling ratios (top S
 #     over S = 1, same machine, same run) are the portable signal —
@@ -17,12 +18,18 @@
 #     threads × pipeline grid (1/4/8 clients, unpipelined vs depth 16),
 #     throughput + p50/p99/p999 per point. The pipelined-vs-unpipelined
 #     ratio at equal threads isolates the server's burst batching.
+#   * bench/net_loadgen.cpp --loadcurve, twice — tail latency vs
+#     offered load (open loop at 0.5/0.9/1.5/2x the calibrated
+#     saturation rate), once against leapd's default admission control
+#     and once with every cap disabled. The portable signal: p99 stays
+#     bounded past saturation WITH admission (requests shed instead of
+#     queueing without bound) and blows up WITHOUT.
 #
 # Earlier committed trajectories (BENCH_PR4.json from abl_alloc,
-# BENCH_PR5.json from abl_shard alone) stay as history; their guards
-# still run in ctest.
+# BENCH_PR5.json from abl_shard alone, BENCH_PR6.json without the
+# overload curve) stay as history; their guards still run in ctest.
 #
-# LEAP_BENCH_SMOKE=1 shrinks both sweeps (tiny windows, small grids).
+# LEAP_BENCH_SMOKE=1 shrinks all sweeps (tiny windows, small grids).
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -31,6 +38,8 @@ NAME="${BENCH_NAME:-BENCH_LATEST}"
 OUT="$ROOT/$NAME.json"
 CUR_SHARD="$(mktemp)"
 CUR_NET="$(mktemp)"
+CUR_CURVE_ON="$(mktemp)"
+CUR_CURVE_OFF="$(mktemp)"
 SERVER_LOG="$(mktemp)"
 SERVER_PID=""
 
@@ -38,7 +47,8 @@ cleanup() {
   if [[ -n "$SERVER_PID" ]] && kill -0 "$SERVER_PID" 2>/dev/null; then
     kill -9 "$SERVER_PID" 2>/dev/null || true
   fi
-  rm -f "$CUR_SHARD" "$CUR_NET" "$SERVER_LOG"
+  rm -f "$CUR_SHARD" "$CUR_NET" "$CUR_CURVE_ON" "$CUR_CURVE_OFF" \
+    "$SERVER_LOG"
 }
 trap cleanup EXIT
 
@@ -49,40 +59,63 @@ for bin in abl_shard leapd leap-loadgen; do
   fi
 done
 
+# Start leapd with the given extra flags; sets SERVER_PID and PORT.
+start_leapd() {
+  : > "$SERVER_LOG"
+  "$BUILD/leapd" --port 0 --workers 2 --shards 8 --stats-interval 0 \
+    "$@" > "$SERVER_LOG" &
+  SERVER_PID=$!
+  PORT=""
+  for _ in $(seq 1 100); do
+    PORT="$(sed -n 's/^leapd: listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+            "$SERVER_LOG" | head -n1)"
+    [[ -n "$PORT" ]] && break
+    if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+      echo "record_bench: leapd died before listening:" >&2
+      cat "$SERVER_LOG" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+  if [[ -z "$PORT" ]]; then
+    echo "record_bench: leapd never printed its listen line" >&2
+    exit 1
+  fi
+}
+
+stop_leapd() {
+  kill -TERM "$SERVER_PID"
+  local status=0
+  wait "$SERVER_PID" || status=$?
+  SERVER_PID=""
+  if [[ "$status" -ne 0 ]] || ! grep -q "clean shutdown" "$SERVER_LOG"; then
+    echo "record_bench: leapd did not shut down cleanly (exit $status):" >&2
+    cat "$SERVER_LOG" >&2
+    exit 1
+  fi
+}
+
 # --- sweep 1: shard scaling -------------------------------------------
 LEAP_BENCH_JSON="$CUR_SHARD" "$BUILD/abl_shard"
 
 # --- sweep 2: serving layer over loopback -----------------------------
-"$BUILD/leapd" --port 0 --workers 2 --shards 8 > "$SERVER_LOG" &
-SERVER_PID=$!
-PORT=""
-for _ in $(seq 1 100); do
-  PORT="$(sed -n 's/^leapd: listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
-          "$SERVER_LOG" | head -n1)"
-  [[ -n "$PORT" ]] && break
-  if ! kill -0 "$SERVER_PID" 2>/dev/null; then
-    echo "record_bench: leapd died before listening:" >&2
-    cat "$SERVER_LOG" >&2
-    exit 1
-  fi
-  sleep 0.1
-done
-if [[ -z "$PORT" ]]; then
-  echo "record_bench: leapd never printed its listen line" >&2
-  exit 1
-fi
-
+start_leapd
 LEAP_BENCH_JSON="$CUR_NET" "$BUILD/leap-loadgen" --port "$PORT" --sweep
+stop_leapd
 
-kill -TERM "$SERVER_PID"
-STATUS=0
-wait "$SERVER_PID" || STATUS=$?
-SERVER_PID=""
-if [[ "$STATUS" -ne 0 ]] || ! grep -q "clean shutdown" "$SERVER_LOG"; then
-  echo "record_bench: leapd did not shut down cleanly (exit $STATUS):" >&2
-  cat "$SERVER_LOG" >&2
-  exit 1
-fi
+# --- sweep 3: offered-load curve, admission on vs off -----------------
+# Same workload, two servers: leapd's default caps (shed at the queue),
+# then every cap disabled (queues grow; the loadgen's monotone open-
+# loop schedule charges the backlog to latency honestly).
+start_leapd  # default admission control ON
+LEAP_BENCH_JSON="$CUR_CURVE_ON" "$BUILD/leap-loadgen" --port "$PORT" \
+  --threads 2 --loadcurve
+stop_leapd
+
+start_leapd --max-queue 0 --max-global 0 --accept-pause 0
+LEAP_BENCH_JSON="$CUR_CURVE_OFF" "$BUILD/leap-loadgen" --port "$PORT" \
+  --threads 2 --loadcurve
+stop_leapd
 
 MODE="full"
 [[ -n "${LEAP_BENCH_SMOKE:-}" ]] && MODE="smoke"
@@ -91,7 +124,7 @@ MODE="full"
   echo '{'
   echo "  \"bench\": \"$NAME\","
   echo "  \"current_mode\": \"$MODE\","
-  echo '  "note": "shard-sweep scaling ratios compare top-S to S=1 within this run (same machine) and are the portable signal; net-sweep pipelined-vs-unpipelined ratios at equal threads isolate burst batching; absolute ops/sec are machine-dependent",'
+  echo '  "note": "shard-sweep scaling ratios compare top-S to S=1 within this run (same machine) and are the portable signal; net-sweep pipelined-vs-unpipelined ratios at equal threads isolate burst batching; the overload curves compare p99 past saturation with admission control on (bounded, requests shed) vs off (backlogged); absolute ops/sec are machine-dependent",'
   echo '  "shard_sweep_workload": "1 structure, 100K keys, 8 threads; read-mostly 90/0/10 and mixed 40/30/30; sharded LT / tm / rwlock",'
   echo -n '  "shard_sweep": '
   sed 's/^/  /' "$CUR_SHARD" | sed '1s/^  //'
@@ -99,6 +132,13 @@ MODE="full"
   echo '  "net_sweep_workload": "leapd over loopback, 2 workers, 8 shards; threads x pipeline grid, default mix; p50/p99/p999 per point",'
   echo -n '  "net_sweep": '
   sed 's/^/  /' "$CUR_NET" | sed '1s/^  //'
+  echo ','
+  echo '  "overload_workload": "leapd over loopback, 2 workers, 8 shards, 2 loadgen threads; open loop at 0.5/0.9/1.5/2x calibrated saturation (1x/2x in smoke); goodput + shed + dropped + p50/p99/p999 per offered load",'
+  echo -n '  "overload_admission_on": '
+  sed 's/^/  /' "$CUR_CURVE_ON" | sed '1s/^  //'
+  echo ','
+  echo -n '  "overload_admission_off": '
+  sed 's/^/  /' "$CUR_CURVE_OFF" | sed '1s/^  //'
   echo '}'
 } > "$OUT"
 

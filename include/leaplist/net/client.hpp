@@ -124,6 +124,16 @@ class Client {
     return resp->results;
   }
 
+  /// Fetch the server's counter snapshot (the Stats opcode). Stats
+  /// requests are exempt from admission control, so this works even
+  /// while the server is shedding load.
+  std::optional<StatsSnapshot> stats() {
+    append_stats_req(outq_);
+    const auto resp = round_trip();
+    if (!resp || resp->status != Status::kStats) return std::nullopt;
+    return resp->stats;
+  }
+
   // --- pipelining primitives -----------------------------------------
 
   void queue_get(std::int64_t key) { append_get(outq_, key); }

@@ -9,6 +9,7 @@
 //     Erase  := key:i64le
 //     Scan   := low:i64le high:i64le limit:u32le      (limit 0 = all)
 //     Txn    := n:u16le  n × (sub:u8 key:i64le [value:i64le if Put])
+//     Stats  :=                          (empty body; never shed)
 //   Response := status:u8 body
 //     Ok        := flag:u8               put: inserted, erase: erased
 //     Found     := value:i64le           get hit
@@ -17,13 +18,22 @@
 //     ScanDone  := n:u32le n × (key:i64le value:i64le)   final chunk
 //     TxnDone   := n:u16le  n × result   get: found:u8 [value:i64le],
 //                                        put/erase: flag:u8
-//     Error     := code:u8               the server closes after this
+//     Error     := code:u8               stream errors close the
+//                                        connection; kOverloaded sheds
+//                                        ONE request and the stream
+//                                        continues
+//     Stats     := n:u8 n × u64le        server counters (n is
+//                                        kStatsWords, field order in
+//                                        StatsSnapshot)
 //
 // Responses come back in request order on each connection; a Scan
 // request yields zero or more ScanChunk frames then exactly one
-// ScanDone. Every integer is little-endian. Parsers reject frames
-// whose body is shorter or longer than the opcode demands — a frame
-// either decodes exactly or errors out the connection.
+// ScanDone. An Error with code kOverloaded answers exactly one request
+// in its FIFO position — admission control shed it — and is the only
+// Error the connection survives. Every integer is little-endian.
+// Parsers reject frames whose body is shorter or longer than the
+// opcode demands — a frame either decodes exactly or errors out the
+// connection.
 #pragma once
 
 #include <cstdint>
@@ -50,6 +60,7 @@ enum class Op : std::uint8_t {
   kErase = 3,
   kScan = 4,
   kTxn = 5,
+  kStats = 6,
 };
 
 enum class Status : std::uint8_t {
@@ -60,13 +71,56 @@ enum class Status : std::uint8_t {
   kScanDone = 4,
   kTxnDone = 5,
   kError = 6,
+  kStats = 7,
 };
 
 enum class Err : std::uint8_t {
-  kBadFrame = 1,   // zero-length or oversized length prefix
-  kBadOpcode = 2,  // unknown request opcode
-  kBadBody = 3,    // body length/content mismatch for the opcode
+  kBadFrame = 1,    // zero-length or oversized length prefix
+  kBadOpcode = 2,   // unknown request opcode
+  kBadBody = 3,     // body length/content mismatch for the opcode
+  kOverloaded = 4,  // admission control shed THIS request; the
+                    // connection stays open and later requests are
+                    // answered normally (the only survivable Error)
 };
+
+/// Log2 buckets of the point-batch size histogram carried by a Stats
+/// response: sizes 1, 2-3, 4-7, ... , >= 128.
+inline constexpr std::size_t kBatchHistBuckets = 8;
+
+/// u64 words in a Stats response body (after the count byte). A body
+/// whose count differs is malformed — both sides pin the layout.
+inline constexpr std::size_t kStatsWords = 11 + kBatchHistBuckets;
+
+/// Server counters as carried by the Stats opcode. The wire layout is
+/// the fields below in declaration order, each a u64le; `batch_hist`
+/// contributes its buckets last. The server aggregates per-worker
+/// relaxed counters into this snapshot, so values lag live traffic by
+/// at most one in-flight batch.
+struct StatsSnapshot {
+  std::uint64_t ops = 0;            // requests answered (batch = each)
+  std::uint64_t accepted = 0;       // connections accepted
+  std::uint64_t errored = 0;        // connections closed on protocol error
+  std::uint64_t shed = 0;           // requests answered Err::kOverloaded
+  std::uint64_t stm_retries = 0;    // STM aborts absorbed by server txns
+  std::uint64_t batches = 0;        // fused point-op batches committed
+  std::uint64_t batch_ops = 0;      // point ops inside those batches
+  std::uint64_t queued_now = 0;     // admitted requests awaiting execution
+  std::uint64_t queue_hwm = 0;      // max per-worker queued depth observed
+  std::uint64_t accept_pauses = 0;  // times a worker paused accept
+  std::uint64_t emfile_sheds = 0;   // connections shed on EMFILE/ENFILE
+  std::uint64_t batch_hist[kBatchHistBuckets] = {};
+};
+
+/// Histogram bucket for a point batch of `n` ops: floor(log2(n)),
+/// clamped to the last bucket (n = 0 never occurs; treated as bucket 0).
+inline std::size_t batch_hist_bucket(std::size_t n) {
+  std::size_t b = 0;
+  while (n > 1 && b + 1 < kBatchHistBuckets) {
+    n >>= 1;
+    ++b;
+  }
+  return b;
+}
 
 /// One operation inside a Txn request (only point sub-ops compose).
 struct TxnOp {
@@ -103,6 +157,7 @@ struct Response {
   std::uint8_t error = 0;
   std::vector<std::pair<std::int64_t, std::int64_t>> pairs;
   std::vector<TxnResult> results;
+  StatsSnapshot stats;  // populated for Status::kStats
 };
 
 // --- little-endian primitives ----------------------------------------
@@ -167,11 +222,18 @@ class Reader {
     return true;
   }
 
-  bool read_i64(std::int64_t& v) {
+  bool read_u64(std::uint64_t& v) {
     if (size_ - at_ < 8) return false;
     std::uint64_t u = 0;
     for (int i = 0; i < 8; ++i) u |= std::uint64_t{data_[at_ + i]} << (8 * i);
     at_ += 8;
+    v = u;
+    return true;
+  }
+
+  bool read_i64(std::int64_t& v) {
+    std::uint64_t u = 0;
+    if (!read_u64(u)) return false;
     v = static_cast<std::int64_t>(u);
     return true;
   }
@@ -266,6 +328,12 @@ inline void append_txn(std::vector<std::uint8_t>& out,
   end_frame(out, at);
 }
 
+inline void append_stats_req(std::vector<std::uint8_t>& out) {
+  const std::size_t at = begin_frame(out);
+  put_u8(out, static_cast<std::uint8_t>(Op::kStats));
+  end_frame(out, at);
+}
+
 // --- response builders (server side) ----------------------------------
 
 inline void append_ok(std::vector<std::uint8_t>& out, bool flag) {
@@ -325,6 +393,28 @@ inline void append_error(std::vector<std::uint8_t>& out, Err code) {
   end_frame(out, at);
 }
 
+inline void append_stats(std::vector<std::uint8_t>& out,
+                         const StatsSnapshot& s) {
+  const std::size_t at = begin_frame(out);
+  put_u8(out, static_cast<std::uint8_t>(Status::kStats));
+  put_u8(out, static_cast<std::uint8_t>(kStatsWords));
+  put_u64(out, s.ops);
+  put_u64(out, s.accepted);
+  put_u64(out, s.errored);
+  put_u64(out, s.shed);
+  put_u64(out, s.stm_retries);
+  put_u64(out, s.batches);
+  put_u64(out, s.batch_ops);
+  put_u64(out, s.queued_now);
+  put_u64(out, s.queue_hwm);
+  put_u64(out, s.accept_pauses);
+  put_u64(out, s.emfile_sheds);
+  for (std::size_t i = 0; i < kBatchHistBuckets; ++i) {
+    put_u64(out, s.batch_hist[i]);
+  }
+  end_frame(out, at);
+}
+
 // --- parsers ----------------------------------------------------------
 
 inline bool is_point_op(Op op) {
@@ -354,6 +444,8 @@ inline std::optional<Request> parse_request(const std::uint8_t* payload,
         return std::nullopt;
       }
       break;
+    case Op::kStats:
+      break;  // empty body; r.done() below rejects trailing bytes
     case Op::kTxn: {
       std::uint16_t count = 0;
       if (!r.read_u16(count)) return std::nullopt;
@@ -431,6 +523,23 @@ inline std::optional<Response> parse_response(
     case Status::kError:
       if (!r.read_u8(resp.error)) return std::nullopt;
       break;
+    case Status::kStats: {
+      std::uint8_t count = 0;
+      if (!r.read_u8(count) || count != kStatsWords) return std::nullopt;
+      StatsSnapshot& s = resp.stats;
+      if (!r.read_u64(s.ops) || !r.read_u64(s.accepted) ||
+          !r.read_u64(s.errored) || !r.read_u64(s.shed) ||
+          !r.read_u64(s.stm_retries) || !r.read_u64(s.batches) ||
+          !r.read_u64(s.batch_ops) || !r.read_u64(s.queued_now) ||
+          !r.read_u64(s.queue_hwm) || !r.read_u64(s.accept_pauses) ||
+          !r.read_u64(s.emfile_sheds)) {
+        return std::nullopt;
+      }
+      for (std::size_t i = 0; i < kBatchHistBuckets; ++i) {
+        if (!r.read_u64(s.batch_hist[i])) return std::nullopt;
+      }
+      break;
+    }
     default:
       return std::nullopt;
   }

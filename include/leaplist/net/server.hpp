@@ -37,6 +37,7 @@
 
 #include "leaplist/leaplist.hpp"
 #include "leaplist/map.hpp"
+#include "leaplist/net/protocol.hpp"
 #include "leaplist/sharded.hpp"
 
 namespace leap::net {
@@ -49,13 +50,24 @@ struct ServerOptions {
   std::int64_t key_hi = 1'000'000;    // (keys outside stay correct)
   core::Params params{};              // per-shard leap-list parameters
   std::size_t max_batch = 128;        // point ops fused into one txn
+
+  // Admission control. A request whose arrival finds the queue over a
+  // cap is answered Err::kOverloaded in its FIFO slot instead of being
+  // executed; the connection survives. 0 disables a cap.
+  std::size_t max_queue = 0;   // per-worker admitted-request backlog cap
+  std::size_t max_global = 0;  // global admitted-request backlog cap
+  // Hard cap: a worker whose accept finds the GLOBAL backlog at or
+  // above this deregisters its listen interest for accept_backoff_ms
+  // (new connections wait in the listen backlog). 0 disables; the
+  // same pause also follows EMFILE/ENFILE regardless of this cap.
+  std::size_t accept_pause = 0;
+  unsigned accept_backoff_ms = 100;
 };
 
-struct ServerStats {
-  std::uint64_t ops = 0;       // requests answered (a batch counts each)
-  std::uint64_t accepted = 0;  // connections accepted
-  std::uint64_t errored = 0;   // connections closed on protocol error
-};
+/// Aggregated server counters; also the Stats opcode's wire payload.
+/// Workers keep relaxed per-worker counters and stats() sums them, so
+/// a snapshot can lag live traffic by an in-flight batch.
+using ServerStats = StatsSnapshot;
 
 class Server {
  public:
@@ -94,9 +106,22 @@ class Server {
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
   std::atomic<bool> running_{false};
-  std::atomic<std::uint64_t> ops_{0};
   std::atomic<std::uint64_t> accepted_{0};
+  /// Admitted requests buffered across ALL workers, awaiting
+  /// execution — the global admission gauge (max_global, accept_pause).
+  std::atomic<std::uint64_t> queued_{0};
+  // Fold targets: stop() drains each worker's relaxed counters here
+  // before destroying it, so stats() stays truthful after shutdown.
+  std::atomic<std::uint64_t> ops_{0};
   std::atomic<std::uint64_t> errored_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> stm_retries_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> batch_ops_{0};
+  std::atomic<std::uint64_t> queue_hwm_{0};
+  std::atomic<std::uint64_t> accept_pauses_{0};
+  std::atomic<std::uint64_t> emfile_sheds_{0};
+  std::atomic<std::uint64_t> batch_hist_[kBatchHistBuckets] = {};
   std::vector<std::unique_ptr<Worker>> workers_;
 };
 

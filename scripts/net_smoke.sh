@@ -1,15 +1,20 @@
 #!/usr/bin/env bash
-# End-to-end loopback smoke for the serving layer: start leapd on an
-# ephemeral port, run leap-loadgen against it for a few seconds, then
-# SIGTERM the server and assert
-#   1. the loadgen completed nonzero ops with no connection failures
-#      (its own exit status), and
-#   2. leapd exited 0 and printed its clean-shutdown stats line.
+# End-to-end loopback smoke for the serving layer, two phases:
+#
+#   1. start leapd on an ephemeral port, run leap-loadgen against it
+#      for a few seconds, SIGTERM the server and assert the loadgen
+#      completed nonzero ops with no connection failures (its own exit
+#      status) and leapd exited 0 with its clean-shutdown stats line;
+#   2. start a second leapd with a tiny admission cap and fire one
+#      past-saturation open-loop burst at it — the server must SHED
+#      (nonzero shed count, observed via the Stats opcode through the
+#      loadgen's "server stats" line) instead of stalling, and still
+#      shut down cleanly.
 #
 #   scripts/net_smoke.sh [build-dir]      (default: ./build)
 #
 # LEAP_BENCH_SMOKE=1 shrinks the run (ctest and the sanitizer jobs set
-# it); otherwise the loadgen drives ~3 s of load.
+# it); otherwise the phase-1 loadgen drives ~3 s of load.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -32,26 +37,49 @@ for bin in leapd leap-loadgen; do
   fi
 done
 
-"$BUILD/leapd" --port 0 --workers 2 --shards 8 > "$LOG" &
-SERVER_PID=$!
+# Start leapd with the given extra flags; sets SERVER_PID and PORT.
+start_leapd() {
+  : > "$LOG"
+  "$BUILD/leapd" --port 0 --workers 2 --shards 8 "$@" > "$LOG" &
+  SERVER_PID=$!
+  PORT=""
+  for _ in $(seq 1 100); do
+    PORT="$(sed -n 's/^leapd: listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+            "$LOG" | head -n1)"
+    [[ -n "$PORT" ]] && break
+    if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+      echo "net_smoke: leapd died before listening:" >&2
+      cat "$LOG" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+  if [[ -z "$PORT" ]]; then
+    echo "net_smoke: leapd never printed its listen line" >&2
+    exit 1
+  fi
+}
 
-# Wait for the listen line and parse the ephemeral port out of it.
-PORT=""
-for _ in $(seq 1 100); do
-  PORT="$(sed -n 's/^leapd: listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
-          "$LOG" | head -n1)"
-  [[ -n "$PORT" ]] && break
-  if ! kill -0 "$SERVER_PID" 2>/dev/null; then
-    echo "net_smoke: leapd died before listening:" >&2
+# SIGTERM the server and assert a clean exit + shutdown line.
+stop_leapd() {
+  kill -TERM "$SERVER_PID"
+  local status=0
+  wait "$SERVER_PID" || status=$?
+  SERVER_PID=""
+  if [[ "$status" -ne 0 ]]; then
+    echo "net_smoke: leapd exited $status (expected 0)" >&2
     cat "$LOG" >&2
     exit 1
   fi
-  sleep 0.1
-done
-if [[ -z "$PORT" ]]; then
-  echo "net_smoke: leapd never printed its listen line" >&2
-  exit 1
-fi
+  if ! grep -q "clean shutdown" "$LOG"; then
+    echo "net_smoke: leapd never reported a clean shutdown:" >&2
+    cat "$LOG" >&2
+    exit 1
+  fi
+}
+
+# --- phase 1: normal load, clean serve + shutdown ---------------------
+start_leapd --stats-interval 0
 
 SECONDS_ARG=()
 [[ -z "${LEAP_BENCH_SMOKE:-}" ]] && SECONDS_ARG=(--seconds 3)
@@ -59,24 +87,33 @@ SECONDS_ARG=()
 "$BUILD/leap-loadgen" --port "$PORT" --threads 2 --pipeline 8 \
   "${SECONDS_ARG[@]}"
 
-kill -TERM "$SERVER_PID"
-STATUS=0
-wait "$SERVER_PID" || STATUS=$?
-SERVER_PID=""
-if [[ "$STATUS" -ne 0 ]]; then
-  echo "net_smoke: leapd exited $STATUS (expected 0)" >&2
-  cat "$LOG" >&2
-  exit 1
-fi
-if ! grep -q "clean shutdown" "$LOG"; then
-  echo "net_smoke: leapd never reported a clean shutdown:" >&2
-  cat "$LOG" >&2
-  exit 1
-fi
+stop_leapd
 SERVED="$(sed -n 's/^leapd: served \([0-9]*\) ops.*/\1/p' "$LOG" | head -n1)"
 if [[ -z "$SERVED" || "$SERVED" -eq 0 ]]; then
   echo "net_smoke: leapd served 0 ops" >&2
   cat "$LOG" >&2
   exit 1
 fi
-echo "net_smoke: ok ($SERVED ops served, clean shutdown)"
+
+# --- phase 2: past-saturation burst must SHED, not stall --------------
+# A tiny per-worker cap makes shedding certain under an offered load no
+# loopback server absorbs; --preload 0 so the measured burst (not the
+# warm-up) meets the cap. The loadgen tolerates kOverloaded (shed ops
+# are counted, not failures), so its exit status still gates the run,
+# and its "server stats" line carries the server's own shed counter
+# fetched via the Stats opcode.
+start_leapd --max-queue 8 --stats-interval 0
+GEN_OUT="$("$BUILD/leap-loadgen" --port "$PORT" --threads 2 --seconds 1 \
+  --rate 400000 --preload 0 --mix 30:60:10:0:0)"
+echo "$GEN_OUT"
+SHED="$(printf '%s\n' "$GEN_OUT" | \
+        sed -n 's/^leap-loadgen: server stats .*shed=\([0-9]*\) .*/\1/p' | \
+        head -n1)"
+if [[ -z "$SHED" || "$SHED" -eq 0 ]]; then
+  echo "net_smoke: past-saturation burst shed nothing (shed='$SHED')" >&2
+  cat "$LOG" >&2
+  exit 1
+fi
+stop_leapd
+
+echo "net_smoke: ok ($SERVED ops served phase 1, $SHED shed phase 2)"

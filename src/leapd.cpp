@@ -2,15 +2,27 @@
 //
 //   leapd [--port N] [--workers N] [--shards N] [--keys N]
 //         [--node-size N] [--batch N]
+//         [--max-queue N] [--max-global N] [--accept-pause N]
+//         [--accept-backoff-ms N] [--stats-interval SECS]
+//
+// Admission control defaults ON here (the library's ServerOptions
+// defaults are OFF so embedded/test servers are unaffected); pass 0 to
+// any cap flag to disable it.
 //
 // Prints one parseable line once listening:
 //   leapd: listening on 127.0.0.1:<port> (<workers> workers, <shards> shards)
 // then serves until SIGINT/SIGTERM, shuts down cleanly, and reports:
 //   leapd: served <ops> ops over <conns> connections (<errs> protocol
 //   errors); clean shutdown
-// scripts/net_smoke.sh keys off both lines.
+// scripts/net_smoke.sh keys off both lines. While serving, a stats
+// line prints every --stats-interval seconds (0 disables):
+//   leapd: stats ops=... shed=... queue=<now>/<hwm> retries=...
+//   batches=... pauses=... emfile=...
+// and one final such line follows the shutdown report.
 #include <signal.h>
+#include <time.h>
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -30,6 +42,21 @@ long long arg_value(int argc, char** argv, const char* flag,
   return fallback;
 }
 
+void print_stats_line(const leap::net::ServerStats& s) {
+  std::printf(
+      "leapd: stats ops=%llu shed=%llu queue=%llu/%llu retries=%llu "
+      "batches=%llu pauses=%llu emfile=%llu\n",
+      static_cast<unsigned long long>(s.ops),
+      static_cast<unsigned long long>(s.shed),
+      static_cast<unsigned long long>(s.queued_now),
+      static_cast<unsigned long long>(s.queue_hwm),
+      static_cast<unsigned long long>(s.stm_retries),
+      static_cast<unsigned long long>(s.batches),
+      static_cast<unsigned long long>(s.accept_pauses),
+      static_cast<unsigned long long>(s.emfile_sheds));
+  std::fflush(stdout);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -47,6 +74,16 @@ int main(int argc, char** argv) {
   if (node_size > 0) {
     opts.params.node_size = static_cast<std::size_t>(node_size);
   }
+  opts.max_queue =
+      static_cast<std::size_t>(arg_value(argc, argv, "--max-queue", 1024));
+  opts.max_global =
+      static_cast<std::size_t>(arg_value(argc, argv, "--max-global", 8192));
+  opts.accept_pause = static_cast<std::size_t>(
+      arg_value(argc, argv, "--accept-pause", 16384));
+  opts.accept_backoff_ms = static_cast<unsigned>(
+      arg_value(argc, argv, "--accept-backoff-ms", 100));
+  const long long stats_interval =
+      arg_value(argc, argv, "--stats-interval", 10);
 
   // Block the shutdown signals before spawning workers (they inherit
   // the mask), then wait for one synchronously — no async handler.
@@ -68,8 +105,25 @@ int main(int argc, char** argv) {
               opts.shards);
   std::fflush(stdout);
 
-  int sig = 0;
-  sigwait(&sigs, &sig);
+  // Wait for a shutdown signal, waking every --stats-interval seconds
+  // to print a stats line (sigtimedwait keeps it all on this thread).
+  for (;;) {
+    if (stats_interval <= 0) {
+      int sig = 0;
+      sigwait(&sigs, &sig);
+      break;
+    }
+    timespec ts{};
+    ts.tv_sec = static_cast<time_t>(stats_interval);
+    const int sig = sigtimedwait(&sigs, nullptr, &ts);
+    if (sig > 0) break;
+    if (errno == EAGAIN) {  // interval elapsed, no signal yet
+      print_stats_line(server.stats());
+      continue;
+    }
+    if (errno == EINTR) continue;
+    break;
+  }
   server.stop();
   const leap::net::ServerStats stats = server.stats();
   std::printf(
@@ -78,5 +132,6 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(stats.ops),
       static_cast<unsigned long long>(stats.accepted),
       static_cast<unsigned long long>(stats.errored));
+  print_stats_line(stats);
   return 0;
 }

@@ -6,6 +6,7 @@
 #include "leaplist/net/server.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/epoll.h>
@@ -15,7 +16,9 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <deque>
 #include <optional>
 #include <unordered_map>
 #include <utility>
@@ -43,6 +46,21 @@ bool set_nodelay(int fd) {
   return ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) == 0;
 }
 
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Admission decision recorded per complete frame at ARRIVAL, consumed
+/// in FIFO order when the frame is pulled for execution.
+enum : std::uint8_t {
+  kDecShed = 0,    // over a cap when it arrived: answer kOverloaded
+  kDecAdmit = 1,   // admitted and counted in the queue gauges
+  kDecExempt = 2,  // admitted without counting (Stats requests)
+};
+
 }  // namespace
 
 /// One epoll shard: a thread, its epoll instance, a wake eventfd, and
@@ -61,13 +79,34 @@ struct Server::Worker {
   struct Conn {
     int fd = -1;
     std::vector<std::uint8_t> in;
-    std::size_t in_ofs = 0;  // parse cursor into `in`
+    std::size_t in_ofs = 0;    // parse cursor into `in`
+    std::size_t count_ofs = 0;  // admission-count cursor (>= in_ofs)
     std::vector<std::uint8_t> out;
     std::size_t out_ofs = 0;  // flush cursor into `out`
     std::optional<ScanState> scan;
+    /// Per-frame admission decisions (kDec*), FIFO with the frames
+    /// between in_ofs and count_ofs.
+    std::deque<std::uint8_t> admit;
+    std::size_t queued_admitted = 0;  // kDecAdmit entries still queued
     std::uint32_t armed = 0;  // epoll interest currently registered
     bool closing = false;     // flush what is queued, then close
     bool peer_eof = false;    // read side done; serve then close
+  };
+
+  /// Per-worker observability counters. Written by the owning thread
+  /// with relaxed ops only; Server::stats() reads them cross-thread
+  /// and stop() folds them into the Server's totals.
+  struct Counters {
+    std::atomic<std::uint64_t> ops{0};
+    std::atomic<std::uint64_t> errored{0};
+    std::atomic<std::uint64_t> shed{0};
+    std::atomic<std::uint64_t> stm_retries{0};
+    std::atomic<std::uint64_t> batches{0};
+    std::atomic<std::uint64_t> batch_ops{0};
+    std::atomic<std::uint64_t> queue_hwm{0};
+    std::atomic<std::uint64_t> accept_pauses{0};
+    std::atomic<std::uint64_t> emfile_sheds{0};
+    std::atomic<std::uint64_t> batch_hist[kBatchHistBuckets] = {};
   };
 
   Server& server;
@@ -75,6 +114,17 @@ struct Server::Worker {
   int wake_fd = -1;
   std::thread thread;
   std::unordered_map<int, std::unique_ptr<Conn>> conns;
+  Counters counters;
+  /// Admitted requests buffered across this worker's connections,
+  /// awaiting execution (the per-worker admission gauge).
+  std::size_t queued = 0;
+  std::size_t queue_hwm = 0;
+  /// Reserved fd: on EMFILE/ENFILE it is released so one pending
+  /// connection can be accept()ed and immediately closed (the peer
+  /// sees EOF, not a hang), then reopened.
+  int emergency_fd = -1;
+  bool accept_paused = false;
+  std::uint64_t accept_resume_ns = 0;
   // Scratch reused across requests (capacity persists).
   std::vector<Request> batch;
   std::vector<TxnResult> results;
@@ -88,6 +138,7 @@ struct Server::Worker {
   ~Worker() {
     for (auto& [fd, conn] : conns) ::close(fd);
     conns.clear();
+    if (emergency_fd >= 0) ::close(emergency_fd);
     if (wake_fd >= 0) ::close(wake_fd);
     if (epoll_fd >= 0) ::close(epoll_fd);
   }
@@ -99,6 +150,7 @@ struct Server::Worker {
       if (error) *error = "epoll/eventfd creation failed";
       return false;
     }
+    emergency_fd = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
     epoll_event ev{};
     ev.events = EPOLLIN;
     ev.data.ptr = &wake_tag;
@@ -123,11 +175,20 @@ struct Server::Worker {
   void run() {
     epoll_event events[64];
     while (server.running_.load(std::memory_order_acquire)) {
-      const int n = ::epoll_wait(epoll_fd, events, 64, -1);
+      int timeout_ms = -1;
+      if (accept_paused) {
+        const std::uint64_t now = now_ns();
+        timeout_ms = now >= accept_resume_ns
+                         ? 0
+                         : static_cast<int>(
+                               (accept_resume_ns - now) / 1'000'000 + 1);
+      }
+      const int n = ::epoll_wait(epoll_fd, events, 64, timeout_ms);
       if (n < 0) {
         if (errno == EINTR) continue;
         break;
       }
+      if (accept_paused && now_ns() >= accept_resume_ns) resume_accept();
       for (int i = 0; i < n; ++i) {
         void* tag = events[i].data.ptr;
         if (tag == &wake_tag) continue;  // stop flag is checked above
@@ -140,11 +201,69 @@ struct Server::Worker {
     }
   }
 
-  void accept_all() {
-    for (;;) {
+  /// Deregister this worker's listen interest and schedule a retry —
+  /// the overload hard cap and the EMFILE path both land here. New
+  /// connections wait in the kernel listen backlog meanwhile.
+  void pause_accept() {
+    if (accept_paused) return;
+    ::epoll_ctl(epoll_fd, EPOLL_CTL_DEL, server.listen_fd_, nullptr);
+    accept_paused = true;
+    const unsigned backoff =
+        server.opts_.accept_backoff_ms > 0 ? server.opts_.accept_backoff_ms
+                                           : 1;
+    accept_resume_ns = now_ns() + backoff * 1'000'000ull;
+    counters.accept_pauses.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void resume_accept() {
+    epoll_event ev{};
+    ev.events = EPOLLIN | EPOLLEXCLUSIVE;
+    ev.data.ptr = &listen_tag;
+    if (::epoll_ctl(epoll_fd, EPOLL_CTL_ADD, server.listen_fd_, &ev) == 0) {
+      accept_paused = false;  // level-triggered: a waiting backlog fires
+    } else {
+      accept_resume_ns = now_ns() + 1'000'000ull;  // retry shortly
+    }
+  }
+
+  /// Out of fds: burn the reserve to accept-then-close ONE pending
+  /// connection (its peer sees a clean EOF instead of hanging in the
+  /// backlog), then back off the listen fd — level-triggered epoll
+  /// would otherwise spin at 100% CPU on the un-acceptable backlog.
+  void shed_on_fd_exhaustion() {
+    counters.emfile_sheds.fetch_add(1, std::memory_order_relaxed);
+    if (emergency_fd >= 0) {
+      ::close(emergency_fd);
+      emergency_fd = -1;
       const int fd = ::accept4(server.listen_fd_, nullptr, nullptr,
                                SOCK_NONBLOCK | SOCK_CLOEXEC);
-      if (fd < 0) return;  // EAGAIN (another worker won), EMFILE, ...
+      if (fd >= 0) ::close(fd);
+      emergency_fd = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
+    }
+  }
+
+  void accept_all() {
+    for (;;) {
+      if (server.opts_.accept_pause > 0 &&
+          server.queued_.load(std::memory_order_relaxed) >=
+              server.opts_.accept_pause) {
+        pause_accept();  // hard cap: let the listen backlog absorb
+        return;
+      }
+      const int fd = ::accept4(server.listen_fd_, nullptr, nullptr,
+                               SOCK_NONBLOCK | SOCK_CLOEXEC);
+      if (fd < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EMFILE || errno == ENFILE) {
+          shed_on_fd_exhaustion();
+          pause_accept();
+          return;
+        }
+        // EAGAIN/EWOULDBLOCK (another worker won the wakeup) and
+        // transient per-connection errors (ECONNABORTED, EPROTO):
+        // nothing more to accept right now.
+        return;
+      }
       set_nodelay(fd);
       auto conn = std::make_unique<Conn>();
       conn->fd = fd;
@@ -162,6 +281,10 @@ struct Server::Worker {
   }
 
   void close_conn(Conn& c) {
+    if (c.queued_admitted > 0) {  // unexecuted admitted requests die too
+      queued -= c.queued_admitted;
+      server.queued_.fetch_sub(c.queued_admitted, std::memory_order_relaxed);
+    }
     ::close(c.fd);  // kernel drops the epoll registration with the fd
     conns.erase(c.fd);
   }
@@ -185,11 +308,12 @@ struct Server::Worker {
   }
 
   /// Drain the socket into the connection's input buffer. False means
-  /// a hard error — the caller closes.
+  /// a hard error — the caller closes. Every return path runs the
+  /// admission pass over whatever arrived.
   bool read_some(Conn& c) {
     std::uint8_t chunk[kReadChunk];
     for (;;) {
-      if (c.in.size() >= kInHighWater) return true;  // backpressure
+      if (c.in.size() >= kInHighWater) break;  // backpressure
       const ssize_t n = ::recv(c.fd, chunk, sizeof(chunk), 0);
       if (n > 0) {
         c.in.insert(c.in.end(), chunk, chunk + n);
@@ -197,11 +321,50 @@ struct Server::Worker {
       }
       if (n == 0) {
         c.peer_eof = true;
-        return true;
+        break;
       }
-      if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
       if (errno == EINTR) continue;
       return false;
+    }
+    admit_new_frames(c);
+    return true;
+  }
+
+  /// The admission pass: walk complete frames between count_ofs and
+  /// the buffer end and decide each one's fate AT ARRIVAL — admitted
+  /// (counted into the per-worker and global gauges) or shed (answered
+  /// kOverloaded when it reaches the front of the FIFO). Stats
+  /// requests are exempt so observability survives overload.
+  void admit_new_frames(Conn& c) {
+    const ServerOptions& opts = server.opts_;
+    for (;;) {
+      std::size_t len = 0;
+      if (split_frame(c.in.data() + c.count_ofs, c.in.size() - c.count_ofs,
+                      len) != FrameState::kReady) {
+        return;  // kNeedMore: wait; kBad: process() poisons the stream
+      }
+      const Op op = static_cast<Op>(c.in[c.count_ofs + 4]);
+      std::uint8_t decision = kDecAdmit;
+      if (op == Op::kStats) {
+        decision = kDecExempt;
+      } else if ((opts.max_queue > 0 && queued >= opts.max_queue) ||
+                 (opts.max_global > 0 &&
+                  server.queued_.load(std::memory_order_relaxed) >=
+                      opts.max_global)) {
+        decision = kDecShed;
+      }
+      if (decision == kDecAdmit) {
+        ++queued;
+        ++c.queued_admitted;
+        server.queued_.fetch_add(1, std::memory_order_relaxed);
+        if (queued > queue_hwm) {
+          queue_hwm = queued;
+          counters.queue_hwm.store(queue_hwm, std::memory_order_relaxed);
+        }
+      }
+      c.admit.push_back(decision);
+      c.count_ofs += 4 + len;
     }
   }
 
@@ -234,9 +397,10 @@ struct Server::Worker {
 
   enum class Pull { kNone, kReq, kBadFrame, kBadBody };
 
-  /// Consume one complete frame into `req`. kNone = need more bytes;
+  /// Consume one complete frame into `req`, popping its admission
+  /// decision into `admitted`. kNone = need more bytes;
   /// kBadFrame/kBadBody poison the stream (caller errors out).
-  Pull pull_request(Conn& c, Request& req) {
+  Pull pull_request(Conn& c, Request& req, bool& admitted) {
     std::size_t len = 0;
     const std::uint8_t* at = c.in.data() + c.in_ofs;
     switch (split_frame(at, c.in.size() - c.in_ofs, len)) {
@@ -247,6 +411,17 @@ struct Server::Worker {
       case FrameState::kReady:
         break;
     }
+    std::uint8_t decision = kDecExempt;
+    if (!c.admit.empty()) {  // every complete frame has a decision
+      decision = c.admit.front();
+      c.admit.pop_front();
+    }
+    if (decision == kDecAdmit) {  // leaving the queue: uncount
+      --queued;
+      --c.queued_admitted;
+      server.queued_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    admitted = decision != kDecShed;
     auto parsed = parse_request(at + 4, len);
     c.in_ofs += 4 + len;
     if (!parsed) return Pull::kBadBody;
@@ -254,19 +429,23 @@ struct Server::Worker {
     return Pull::kReq;
   }
 
-  /// True when the next complete frame is a point op (safe to fuse
-  /// into the current batch without reordering responses).
+  /// True when the next complete frame is an ADMITTED point op (safe
+  /// to fuse into the current batch without reordering responses; a
+  /// shed frame must answer kOverloaded in its own FIFO slot).
   bool peek_point(const Conn& c) const {
     std::size_t len = 0;
     const std::uint8_t* at = c.in.data() + c.in_ofs;
     if (split_frame(at, c.in.size() - c.in_ofs, len) != FrameState::kReady) {
       return false;
     }
+    if (!c.admit.empty() && c.admit.front() == kDecShed) return false;
     return is_point_op(static_cast<Op>(at[4]));
   }
 
   /// Decode and execute buffered requests until input runs dry, the
   /// output buffer hits its high-water mark, or the stream errors.
+  /// A request shed at admission answers Err::kOverloaded in its FIFO
+  /// slot — the connection survives and later requests run normally.
   void process(Conn& c) {
     bool poisoned = false;
     Err poison_code = Err::kBadFrame;
@@ -276,7 +455,8 @@ struct Server::Worker {
         continue;
       }
       Request req;
-      const Pull pull = pull_request(c, req);
+      bool admitted = true;
+      const Pull pull = pull_request(c, req, admitted);
       if (pull == Pull::kNone) break;
       if (pull == Pull::kBadFrame || pull == Pull::kBadBody) {
         poisoned = true;
@@ -284,13 +464,23 @@ struct Server::Worker {
             pull == Pull::kBadFrame ? Err::kBadFrame : Err::kBadBody;
         break;
       }
+      if (!admitted) {
+        append_error(c.out, Err::kOverloaded);
+        counters.shed.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      if (req.op == Op::kStats) {
+        append_stats(c.out, server.stats());
+        counters.ops.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
       if (req.op == Op::kScan) {
         start_scan(c, req);
         continue;
       }
       if (req.op == Op::kTxn) {
         exec_txn(req, c.out);
-        server.ops_.fetch_add(1, std::memory_order_relaxed);
+        counters.ops.fetch_add(1, std::memory_order_relaxed);
         continue;
       }
       // Point op: fuse the rest of the pipelined burst into one txn.
@@ -298,7 +488,8 @@ struct Server::Worker {
       batch.push_back(std::move(req));
       while (batch.size() < server.opts_.max_batch && peek_point(c)) {
         Request next;
-        const Pull more = pull_request(c, next);
+        bool next_admitted = true;
+        const Pull more = pull_request(c, next, next_admitted);
         if (more != Pull::kReq) {
           // peek said complete+point, so only a malformed body lands
           // here; answer the sound prefix first, then poison.
@@ -309,19 +500,32 @@ struct Server::Worker {
         batch.push_back(std::move(next));
       }
       exec_point_batch(c.out);
-      server.ops_.fetch_add(batch.size(), std::memory_order_relaxed);
+      counters.ops.fetch_add(batch.size(), std::memory_order_relaxed);
       if (poisoned) break;
     }
     if (poisoned) {
       append_error(c.out, poison_code);
       c.closing = true;
-      server.errored_.fetch_add(1, std::memory_order_relaxed);
+      counters.errored.fetch_add(1, std::memory_order_relaxed);
     }
     // Compact the consumed prefix so the buffer never creeps.
     if (c.in_ofs > 0) {
       c.in.erase(c.in.begin(),
                  c.in.begin() + static_cast<std::ptrdiff_t>(c.in_ofs));
+      c.count_ofs -= c.in_ofs;  // count_ofs >= in_ofs always
       c.in_ofs = 0;
+    }
+  }
+
+  /// The thread-local Tx is the one leap::txn uses on this worker, so
+  /// its cumulative aborts() sampled before/after a map operation
+  /// yields exactly that operation's conflict retries.
+  std::uint64_t sample_aborts() const { return stm::tls_tx().aborts(); }
+
+  void charge_retries(std::uint64_t aborts_before) {
+    const std::uint64_t retries = sample_aborts() - aborts_before;
+    if (retries > 0) {
+      counters.stm_retries.fetch_add(retries, std::memory_order_relaxed);
     }
   }
 
@@ -330,6 +534,11 @@ struct Server::Worker {
   /// conflict, so results are (re)collected per attempt and frames are
   /// built only after the commit.
   void exec_point_batch(std::vector<std::uint8_t>& out) {
+    counters.batches.fetch_add(1, std::memory_order_relaxed);
+    counters.batch_ops.fetch_add(batch.size(), std::memory_order_relaxed);
+    counters.batch_hist[batch_hist_bucket(batch.size())].fetch_add(
+        1, std::memory_order_relaxed);
+    const std::uint64_t aborts_before = sample_aborts();
     Server::MapType& map = server.map_;
     leap::txn([&](stm::Tx& tx) {
       results.clear();
@@ -352,6 +561,7 @@ struct Server::Worker {
         results.push_back(r);
       }
     });
+    charge_retries(aborts_before);
     for (std::size_t i = 0; i < batch.size(); ++i) {
       switch (batch[i].op) {
         case Op::kGet:
@@ -371,6 +581,7 @@ struct Server::Worker {
   /// The multi-key transaction opcode: all sub-ops in one leap::txn —
   /// the paper's composable atomicity, across shards, over the wire.
   void exec_txn(const Request& req, std::vector<std::uint8_t>& out) {
+    const std::uint64_t aborts_before = sample_aborts();
     Server::MapType& map = server.map_;
     leap::txn([&](stm::Tx& tx) {
       results.clear();
@@ -393,6 +604,7 @@ struct Server::Worker {
         results.push_back(r);
       }
     });
+    charge_retries(aborts_before);
     append_txn_done(out, req.txn, results);
   }
 
@@ -422,7 +634,9 @@ struct Server::Worker {
       return;
     }
     scan_buf.clear();
+    const std::uint64_t aborts_before = sample_aborts();
     server.map_.scan(s.next_low, cap, scan_buf);
+    charge_retries(aborts_before);
     // scan() is bounded below only; clip the tail past `high`.
     std::size_t n = scan_buf.size();
     while (n > 0 && scan_buf[n - 1].first > s.high) --n;
@@ -440,7 +654,7 @@ struct Server::Worker {
 
   void finish_scan(Conn& c) {
     c.scan.reset();
-    server.ops_.fetch_add(1, std::memory_order_relaxed);
+    counters.ops.fetch_add(1, std::memory_order_relaxed);
   }
 
   /// Write queued output. False = the connection was closed (hard
@@ -483,7 +697,13 @@ struct Server::Worker {
     epoll_event ev{};
     ev.events = want;
     ev.data.ptr = &c;
-    ::epoll_ctl(epoll_fd, EPOLL_CTL_MOD, c.fd, &ev);
+    if (::epoll_ctl(epoll_fd, EPOLL_CTL_MOD, c.fd, &ev) != 0) {
+      // The kernel rejected the change; caching `want` anyway would
+      // desync `armed` from the real registration for good. The
+      // connection is unsalvageable without its epoll state.
+      close_conn(c);
+      return;
+    }
     c.armed = want;
   }
 };
@@ -543,6 +763,36 @@ void Server::stop() {
   for (auto& worker : workers_) {
     if (worker->thread.joinable()) worker->thread.join();
   }
+  // Fold the per-worker counters into the Server's totals so stats()
+  // stays truthful after the workers are gone.
+  for (auto& worker : workers_) {
+    const Worker::Counters& c = worker->counters;
+    ops_.fetch_add(c.ops.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+    errored_.fetch_add(c.errored.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+    shed_.fetch_add(c.shed.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+    stm_retries_.fetch_add(c.stm_retries.load(std::memory_order_relaxed),
+                           std::memory_order_relaxed);
+    batches_.fetch_add(c.batches.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+    batch_ops_.fetch_add(c.batch_ops.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+    accept_pauses_.fetch_add(c.accept_pauses.load(std::memory_order_relaxed),
+                             std::memory_order_relaxed);
+    emfile_sheds_.fetch_add(c.emfile_sheds.load(std::memory_order_relaxed),
+                            std::memory_order_relaxed);
+    const std::uint64_t hwm = c.queue_hwm.load(std::memory_order_relaxed);
+    if (hwm > queue_hwm_.load(std::memory_order_relaxed)) {
+      queue_hwm_.store(hwm, std::memory_order_relaxed);
+    }
+    for (std::size_t i = 0; i < kBatchHistBuckets; ++i) {
+      batch_hist_[i].fetch_add(
+          c.batch_hist[i].load(std::memory_order_relaxed),
+          std::memory_order_relaxed);
+    }
+  }
   workers_.clear();  // Worker dtors close epoll/event/conn fds
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
@@ -552,9 +802,36 @@ void Server::stop() {
 
 ServerStats Server::stats() const {
   ServerStats s;
-  s.ops = ops_.load(std::memory_order_relaxed);
   s.accepted = accepted_.load(std::memory_order_relaxed);
+  s.queued_now = queued_.load(std::memory_order_relaxed);
+  s.ops = ops_.load(std::memory_order_relaxed);
   s.errored = errored_.load(std::memory_order_relaxed);
+  s.shed = shed_.load(std::memory_order_relaxed);
+  s.stm_retries = stm_retries_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.batch_ops = batch_ops_.load(std::memory_order_relaxed);
+  s.queue_hwm = queue_hwm_.load(std::memory_order_relaxed);
+  s.accept_pauses = accept_pauses_.load(std::memory_order_relaxed);
+  s.emfile_sheds = emfile_sheds_.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < kBatchHistBuckets; ++i) {
+    s.batch_hist[i] = batch_hist_[i].load(std::memory_order_relaxed);
+  }
+  for (const auto& worker : workers_) {
+    const Worker::Counters& c = worker->counters;
+    s.ops += c.ops.load(std::memory_order_relaxed);
+    s.errored += c.errored.load(std::memory_order_relaxed);
+    s.shed += c.shed.load(std::memory_order_relaxed);
+    s.stm_retries += c.stm_retries.load(std::memory_order_relaxed);
+    s.batches += c.batches.load(std::memory_order_relaxed);
+    s.batch_ops += c.batch_ops.load(std::memory_order_relaxed);
+    s.accept_pauses += c.accept_pauses.load(std::memory_order_relaxed);
+    s.emfile_sheds += c.emfile_sheds.load(std::memory_order_relaxed);
+    s.queue_hwm =
+        std::max(s.queue_hwm, c.queue_hwm.load(std::memory_order_relaxed));
+    for (std::size_t i = 0; i < kBatchHistBuckets; ++i) {
+      s.batch_hist[i] += c.batch_hist[i].load(std::memory_order_relaxed);
+    }
+  }
   return s;
 }
 

@@ -1,11 +1,17 @@
 // Loopback battery for the net serving layer: protocol framing
 // round-trips, the epoll server's pipelining/burst batching, chunked
 // scan streaming, multi-key txn atomicity observed across connections,
-// a concurrent-clients fuzz against std::map oracles, and the
+// a concurrent-clients fuzz against std::map oracles, the overload
+// battery (admission-control shedding in FIFO position, the Stats
+// opcode, EMFILE recovery under a lowered RLIMIT_NOFILE), and the
 // robustness cases — truncated/partial frames, oversized length
 // prefixes, garbage opcodes, mid-request disconnects — all of which
 // must error out one connection without crashing, leaking, or
 // disturbing the others.
+#include <fcntl.h>
+#include <sys/resource.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -594,6 +600,273 @@ void test_robustness(Server& server) {
   CHECK(server.stats().errored >= before.errored + 4);
 }
 
+// --- loopback: overload / observability -------------------------------
+
+void test_stats_codec_round_trip() {
+  StatsSnapshot in;
+  in.ops = 1;
+  in.accepted = 2;
+  in.errored = 3;
+  in.shed = 4;
+  in.stm_retries = 5;
+  in.batches = 6;
+  in.batch_ops = 7;
+  in.queued_now = 8;
+  in.queue_hwm = 9;
+  in.accept_pauses = 10;
+  in.emfile_sheds = 11;
+  for (std::size_t i = 0; i < kBatchHistBuckets; ++i) {
+    in.batch_hist[i] = 100 + i;
+  }
+  std::vector<std::uint8_t> buf;
+  append_stats(buf, in);
+  std::size_t len = 0;
+  CHECK(split_frame(buf.data(), buf.size(), len) == FrameState::kReady);
+  const auto resp = parse_response(buf.data() + 4, len, nullptr);
+  CHECK(resp.has_value());
+  CHECK(resp->status == Status::kStats);
+  const StatsSnapshot& out = resp->stats;
+  CHECK_EQ(out.ops, in.ops);
+  CHECK_EQ(out.accepted, in.accepted);
+  CHECK_EQ(out.errored, in.errored);
+  CHECK_EQ(out.shed, in.shed);
+  CHECK_EQ(out.stm_retries, in.stm_retries);
+  CHECK_EQ(out.batches, in.batches);
+  CHECK_EQ(out.batch_ops, in.batch_ops);
+  CHECK_EQ(out.queued_now, in.queued_now);
+  CHECK_EQ(out.queue_hwm, in.queue_hwm);
+  CHECK_EQ(out.accept_pauses, in.accept_pauses);
+  CHECK_EQ(out.emfile_sheds, in.emfile_sheds);
+  for (std::size_t i = 0; i < kBatchHistBuckets; ++i) {
+    CHECK_EQ(out.batch_hist[i], in.batch_hist[i]);
+  }
+  // A Stats response whose word count disagrees with kStatsWords fails
+  // to parse (forward-compat is explicit, not silent).
+  buf[5] = static_cast<std::uint8_t>(kStatsWords - 1);
+  CHECK(!parse_response(buf.data() + 4, len, nullptr).has_value());
+  // Bucketing: floor(log2), clamped to the last bucket.
+  CHECK_EQ(batch_hist_bucket(1), std::size_t{0});
+  CHECK_EQ(batch_hist_bucket(2), std::size_t{1});
+  CHECK_EQ(batch_hist_bucket(3), std::size_t{1});
+  CHECK_EQ(batch_hist_bucket(128), std::size_t{7});
+  CHECK_EQ(batch_hist_bucket(1 << 12), kBatchHistBuckets - 1);
+}
+
+void test_stats_opcode(Server& server) {
+  // Delta-based: the shared server has served other tests already, so
+  // only growth is asserted, against traffic this test generates.
+  Client client;
+  CHECK(client.connect("127.0.0.1", server.port()));
+  const auto before = client.stats();
+  CHECK(before.has_value());
+  constexpr int kOps = 64;
+  for (int i = 0; i < kOps; ++i) client.queue_put(700'000 + i, i);
+  CHECK(client.flush());
+  for (int i = 0; i < kOps; ++i) {
+    const auto resp = client.read_response();
+    CHECK(resp.has_value());
+    CHECK(resp->status == Status::kOk);
+  }
+  Client extra;  // accepted between the snapshots
+  CHECK(extra.connect("127.0.0.1", server.port()));
+  CHECK(extra.put(700'100, 1));
+  CHECK(extra.erase(700'100));
+  const auto after = client.stats();
+  CHECK(after.has_value());
+  CHECK(after->ops >= before->ops + kOps);
+  CHECK(after->accepted >= before->accepted + 1);
+  // The pipelined window commits as batches; both batch counters and
+  // the histogram must have moved.
+  CHECK(after->batches > before->batches);
+  CHECK(after->batch_ops >= before->batch_ops + kOps);
+  std::uint64_t hist_before = 0;
+  std::uint64_t hist_after = 0;
+  for (std::size_t i = 0; i < kBatchHistBuckets; ++i) {
+    hist_before += before->batch_hist[i];
+    hist_after += after->batch_hist[i];
+  }
+  CHECK(hist_after > hist_before);
+  // Stats itself counts as an op but never as shed.
+  CHECK_EQ(after->shed, before->shed);
+  for (int i = 0; i < kOps; ++i) client.queue_erase(700'000 + i);
+  CHECK(client.flush());
+  for (int i = 0; i < kOps; ++i) {
+    CHECK(client.read_response().has_value());
+  }
+  CHECK(!client.failed());
+}
+
+void test_shed_battery() {
+  // A dedicated single-worker server with a tiny admission cap: a
+  // large single-flush burst must shed most of the window as
+  // kOverloaded IN FIFO POSITION while every admitted op executes
+  // exactly once — both checkable by replaying the op sequence
+  // against a std::map oracle that applies only the non-shed ops.
+  ServerOptions opts = test_options();
+  opts.workers = 1;
+  opts.max_queue = 4;
+  Server server(opts);
+  CHECK(server.start());
+  Client client;
+  CHECK(client.connect("127.0.0.1", server.port()));
+
+  constexpr int kBurst = 2048;
+  leap::util::Xoshiro256 rng(0x0e11);
+  struct Sent {
+    Op op;
+    std::int64_t key;
+    std::int64_t value;
+  };
+  std::vector<Sent> sent;
+  sent.reserve(kBurst);
+  for (int i = 0; i < kBurst; ++i) {
+    const std::int64_t key =
+        10'000 + static_cast<std::int64_t>(rng.next_below(64));
+    const int dial = static_cast<int>(rng.next_below(3));
+    if (dial == 0) {
+      const std::int64_t value = static_cast<std::int64_t>(rng.next());
+      client.queue_put(key, value);
+      sent.push_back({Op::kPut, key, value});
+    } else if (dial == 1) {
+      client.queue_erase(key);
+      sent.push_back({Op::kErase, key, 0});
+    } else {
+      client.queue_get(key);
+      sent.push_back({Op::kGet, key, 0});
+    }
+  }
+  CHECK(client.flush());
+
+  // Replay: response i answers request i. Shed responses leave the
+  // oracle untouched; everything else must match the oracle exactly —
+  // which also proves admitted ops ran exactly once and in order.
+  std::map<std::int64_t, std::int64_t> oracle;
+  std::uint64_t shed_seen = 0;
+  for (const Sent& s : sent) {
+    const auto resp = client.read_response();
+    CHECK(resp.has_value());
+    if (resp->status == Status::kError) {
+      CHECK_EQ(resp->error, static_cast<std::uint8_t>(Err::kOverloaded));
+      ++shed_seen;
+      continue;
+    }
+    if (s.op == Op::kPut) {
+      const bool inserted = oracle.insert_or_assign(s.key, s.value).second;
+      CHECK(resp->status == Status::kOk);
+      CHECK_EQ(resp->flag, inserted ? 1 : 0);
+    } else if (s.op == Op::kErase) {
+      const bool erased = oracle.erase(s.key) > 0;
+      CHECK(resp->status == Status::kOk);
+      CHECK_EQ(resp->flag, erased ? 1 : 0);
+    } else {
+      const auto it = oracle.find(s.key);
+      if (it != oracle.end()) {
+        CHECK(resp->status == Status::kFound);
+        CHECK_EQ(resp->value, it->second);
+      } else {
+        CHECK(resp->status == Status::kMiss);
+      }
+    }
+  }
+  // A 2048-op burst against a 4-deep queue must have shed; the
+  // connection SURVIVED every one of them.
+  CHECK(shed_seen > 0);
+  CHECK(!client.failed());
+  CHECK(client.put(999'999, 1));
+  const auto hit = client.get(999'999);
+  CHECK(hit.has_value());
+  CHECK_EQ(*hit, 1);
+
+  // The server's own count agrees with what crossed the wire (a Stats
+  // request is exempt from admission, so it works even now).
+  const auto wire = client.stats();
+  CHECK(wire.has_value());
+  CHECK_EQ(wire->shed, shed_seen);
+  CHECK(wire->queue_hwm <= opts.max_queue);
+  CHECK(wire->queue_hwm > 0);
+
+  // Counters survive shutdown (stop() folds per-worker counters).
+  server.stop();
+  CHECK_EQ(server.stats().shed, shed_seen);
+}
+
+void test_emfile_recovery() {
+  // Regression for the accept_all busy-spin: under fd exhaustion the
+  // server must shed the unacceptable connection (peer sees EOF, not
+  // a hang), pause its listen interest instead of spinning, keep
+  // serving existing connections, and resume accepting once fds are
+  // back. RLIMIT_NOFILE is lowered for the duration.
+  ServerOptions opts = test_options();
+  opts.workers = 1;
+  opts.accept_backoff_ms = 30;
+  Server server(opts);
+  CHECK(server.start());
+  Client veteran;
+  CHECK(veteran.connect("127.0.0.1", server.port()));
+  CHECK(veteran.put(42, 420));
+
+  rlimit saved{};
+  CHECK(::getrlimit(RLIMIT_NOFILE, &saved) == 0);
+  const int probe = ::dup(0);  // lowest free fd number right now
+  CHECK(probe >= 0);
+  ::close(probe);
+  rlimit tight = saved;
+  tight.rlim_cur = static_cast<rlim_t>(probe + 10);
+  CHECK(::setrlimit(RLIMIT_NOFILE, &tight) == 0);
+
+  // Exhaust every remaining slot, then free exactly one for the
+  // incoming client socket — so the server's accept4 is guaranteed to
+  // hit EMFILE (its emergency reserve fd predates the exhaustion).
+  std::vector<int> hogs;
+  for (;;) {
+    const int fd = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
+    if (fd < 0) break;
+    hogs.push_back(fd);
+  }
+  CHECK(!hogs.empty());
+  ::close(hogs.back());
+  hogs.pop_back();
+
+  Client doomed;
+  CHECK(doomed.connect("127.0.0.1", server.port()));  // SYN backlog
+  // The server sheds via its reserve: accept-then-close, so this read
+  // terminates with EOF instead of hanging un-accepted forever.
+  CHECK(!doomed.get(1).has_value());
+  CHECK(doomed.failed());
+
+  // The shed and the accept pause are both visible, and the already-
+  // accepted connection still serves while paused.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(5);
+  for (;;) {
+    const ServerStats s = server.stats();
+    if (s.emfile_sheds >= 1 && s.accept_pauses >= 1) break;
+    CHECK(std::chrono::steady_clock::now() < deadline);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  const auto hit = veteran.get(42);
+  CHECK(hit.has_value());
+  CHECK_EQ(*hit, 420);
+
+  // Release the pressure; accept must resume within the backoff.
+  for (const int fd : hogs) ::close(fd);
+  hogs.clear();
+  CHECK(::setrlimit(RLIMIT_NOFILE, &saved) == 0);
+  bool recovered = false;
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    Client fresh;
+    if (fresh.connect("127.0.0.1", server.port()) && fresh.put(7, 70)) {
+      CHECK(fresh.erase(7));
+      recovered = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  CHECK(recovered);
+  CHECK(veteran.erase(42));
+  server.stop();
+}
+
 void test_stop_with_live_connections() {
   Server server(test_options());
   CHECK(server.start());
@@ -612,6 +885,7 @@ int main() {
   test_request_round_trip();
   test_response_round_trip();
   test_parser_rejects_malformed();
+  test_stats_codec_round_trip();
 
   {
     Server server(test_options());
@@ -625,9 +899,12 @@ int main() {
     test_concurrent_clients_vs_oracle(server);
     test_txn_atomicity_across_connections(server);
     test_robustness(server);
+    test_stats_opcode(server);
     server.stop();
     CHECK(server.stats().ops > 0);
   }
+  test_shed_battery();
+  test_emfile_recovery();
   test_stop_with_live_connections();
 
   return leap::test::finish("test_net");
