@@ -31,6 +31,16 @@
 //   leap-loadgen --port P [--host 127.0.0.1] [--threads N] [--seconds S]
 //     [--pipeline D] [--rate R] [--keys K] [--preload N]
 //     [--mix get:put:erase:scan:txn] [--sweep] [--loadcurve]
+//     [--putrange A:B] [--verifyrange A:B]
+//
+// --putrange / --verifyrange are the crash-recovery oracle modes (no
+// load phase runs): putrange writes every key in [A, B) with the
+// DETERMINISTIC value key*31+7 — each put individually acknowledged —
+// and verifyrange asserts every one of those keys reads back exactly
+// that value, exiting nonzero on any mismatch. Because the value is a
+// pure function of the key, a verifier needs no state from the writer:
+// scripts/net_smoke.sh writes, kill -9s leapd, restarts it on the same
+// --data-dir, and verifies from a fresh process.
 #include <poll.h>
 
 #include <cstdio>
@@ -307,6 +317,65 @@ bool preload(const GenConfig& cfg) {
   return true;
 }
 
+/// The deterministic oracle value for --putrange / --verifyrange
+/// (mirrored by tests/test_store.cpp's value_of).
+std::int64_t oracle_value(std::int64_t key) { return key * 31 + 7; }
+
+/// Write every key in [lo, hi) with its oracle value, pipelined in
+/// bursts, every put acknowledged before the function returns true.
+bool put_range(const GenConfig& cfg, std::int64_t lo, std::int64_t hi) {
+  Client client;
+  if (!client.connect(cfg.host, cfg.port)) return false;
+  constexpr std::int64_t kBurst = 256;
+  for (std::int64_t at = lo; at < hi;) {
+    const std::int64_t n = std::min(kBurst, hi - at);
+    for (std::int64_t i = 0; i < n; ++i) {
+      client.queue_put(at + i, oracle_value(at + i));
+    }
+    if (!client.flush()) return false;
+    for (std::int64_t i = 0; i < n; ++i) {
+      const auto resp = client.read_response();
+      if (!resp || resp->status != Status::kOk) return false;
+    }
+    at += n;
+  }
+  return true;
+}
+
+/// Assert every key in [lo, hi) reads back its oracle value. Prints
+/// the first mismatch; returns false on any.
+bool verify_range(const GenConfig& cfg, std::int64_t lo, std::int64_t hi) {
+  Client client;
+  if (!client.connect(cfg.host, cfg.port)) return false;
+  constexpr std::int64_t kBurst = 256;
+  for (std::int64_t at = lo; at < hi;) {
+    const std::int64_t n = std::min(kBurst, hi - at);
+    for (std::int64_t i = 0; i < n; ++i) client.queue_get(at + i);
+    if (!client.flush()) return false;
+    for (std::int64_t i = 0; i < n; ++i) {
+      const auto resp = client.read_response();
+      const std::int64_t key = at + i;
+      if (!resp || resp->status != Status::kFound) {
+        std::fprintf(stderr,
+                     "leap-loadgen: verifyrange: key %lld missing\n",
+                     static_cast<long long>(key));
+        return false;
+      }
+      if (resp->value != oracle_value(key)) {
+        std::fprintf(
+            stderr,
+            "leap-loadgen: verifyrange: key %lld = %lld, want %lld\n",
+            static_cast<long long>(key),
+            static_cast<long long>(resp->value),
+            static_cast<long long>(oracle_value(key)));
+        return false;
+      }
+    }
+    at += n;
+  }
+  return true;
+}
+
 GenResult run_config(const GenConfig& cfg) {
   const std::uint64_t start = now_ns();
   const std::uint64_t deadline =
@@ -381,6 +450,29 @@ int main(int argc, char** argv) {
   if (base.port == 0) {
     std::fprintf(stderr, "leap-loadgen: --port is required\n");
     return 1;
+  }
+
+  // Oracle modes short-circuit the load phase entirely.
+  for (int i = 1; i + 1 < argc; ++i) {
+    const bool is_put = std::strcmp(argv[i], "--putrange") == 0;
+    const bool is_verify = std::strcmp(argv[i], "--verifyrange") == 0;
+    if (!is_put && !is_verify) continue;
+    long long lo = 0, hi = 0;
+    if (std::sscanf(argv[i + 1], "%lld:%lld", &lo, &hi) != 2 || hi < lo) {
+      std::fprintf(stderr, "leap-loadgen: bad range '%s' (want A:B)\n",
+                   argv[i + 1]);
+      return 1;
+    }
+    const bool ok = is_put ? put_range(base, lo, hi)
+                           : verify_range(base, lo, hi);
+    if (!ok) {
+      std::fprintf(stderr, "leap-loadgen: %s [%lld,%lld) FAILED\n",
+                   is_put ? "putrange" : "verifyrange", lo, hi);
+      return 1;
+    }
+    std::printf("leap-loadgen: %s [%lld,%lld) ok\n",
+                is_put ? "putrange" : "verifyrange", lo, hi);
+    return 0;
   }
 
   if (!preload(base)) {
@@ -505,13 +597,22 @@ int main(int argc, char** argv) {
         std::printf(
             "leap-loadgen: server stats ops=%llu shed=%llu "
             "queue_hwm=%llu stm_retries=%llu accept_pauses=%llu "
-            "emfile_sheds=%llu\n",
+            "emfile_sheds=%llu wal_appends=%llu wal_fsyncs=%llu "
+            "group_ops=%llu flushes=%llu runs=%llu cold_hits=%llu "
+            "recovered=%llu\n",
             static_cast<unsigned long long>(s->ops),
             static_cast<unsigned long long>(s->shed),
             static_cast<unsigned long long>(s->queue_hwm),
             static_cast<unsigned long long>(s->stm_retries),
             static_cast<unsigned long long>(s->accept_pauses),
-            static_cast<unsigned long long>(s->emfile_sheds));
+            static_cast<unsigned long long>(s->emfile_sheds),
+            static_cast<unsigned long long>(s->wal_appends),
+            static_cast<unsigned long long>(s->wal_fsyncs),
+            static_cast<unsigned long long>(s->wal_group_ops),
+            static_cast<unsigned long long>(s->store_flushes),
+            static_cast<unsigned long long>(s->store_runs),
+            static_cast<unsigned long long>(s->cold_hits),
+            static_cast<unsigned long long>(s->recovered_ops));
       }
     }
   }

@@ -89,7 +89,8 @@ inline constexpr std::size_t kBatchHistBuckets = 8;
 
 /// u64 words in a Stats response body (after the count byte). A body
 /// whose count differs is malformed — both sides pin the layout.
-inline constexpr std::size_t kStatsWords = 11 + kBatchHistBuckets;
+/// 11 serving-layer counters + 8 store counters + the batch histogram.
+inline constexpr std::size_t kStatsWords = 19 + kBatchHistBuckets;
 
 /// Server counters as carried by the Stats opcode. The wire layout is
 /// the fields below in declaration order, each a u64le; `batch_hist`
@@ -108,6 +109,16 @@ struct StatsSnapshot {
   std::uint64_t queue_hwm = 0;      // max per-worker queued depth observed
   std::uint64_t accept_pauses = 0;  // times a worker paused accept
   std::uint64_t emfile_sheds = 0;   // connections shed on EMFILE/ENFILE
+  // Durable-store counters (all zero when leapd runs without
+  // --data-dir; see leaplist/store/store.hpp).
+  std::uint64_t wal_appends = 0;      // WAL records written
+  std::uint64_t wal_fsyncs = 0;       // fdatasync calls issued
+  std::uint64_t wal_group_ops = 0;    // ops covered by group-commit syncs
+  std::uint64_t store_flushes = 0;    // checkpoint flushes completed
+  std::uint64_t store_runs = 0;       // live run files across shards
+  std::uint64_t bloom_negatives = 0;  // cold gets a bloom proved absent
+  std::uint64_t cold_hits = 0;        // gets answered from a run
+  std::uint64_t recovered_ops = 0;    // WAL entries replayed at startup
   std::uint64_t batch_hist[kBatchHistBuckets] = {};
 };
 
@@ -409,6 +420,14 @@ inline void append_stats(std::vector<std::uint8_t>& out,
   put_u64(out, s.queue_hwm);
   put_u64(out, s.accept_pauses);
   put_u64(out, s.emfile_sheds);
+  put_u64(out, s.wal_appends);
+  put_u64(out, s.wal_fsyncs);
+  put_u64(out, s.wal_group_ops);
+  put_u64(out, s.store_flushes);
+  put_u64(out, s.store_runs);
+  put_u64(out, s.bloom_negatives);
+  put_u64(out, s.cold_hits);
+  put_u64(out, s.recovered_ops);
   for (std::size_t i = 0; i < kBatchHistBuckets; ++i) {
     put_u64(out, s.batch_hist[i]);
   }
@@ -533,6 +552,12 @@ inline std::optional<Response> parse_response(
           !r.read_u64(s.batch_ops) || !r.read_u64(s.queued_now) ||
           !r.read_u64(s.queue_hwm) || !r.read_u64(s.accept_pauses) ||
           !r.read_u64(s.emfile_sheds)) {
+        return std::nullopt;
+      }
+      if (!r.read_u64(s.wal_appends) || !r.read_u64(s.wal_fsyncs) ||
+          !r.read_u64(s.wal_group_ops) || !r.read_u64(s.store_flushes) ||
+          !r.read_u64(s.store_runs) || !r.read_u64(s.bloom_negatives) ||
+          !r.read_u64(s.cold_hits) || !r.read_u64(s.recovered_ops)) {
         return std::nullopt;
       }
       for (std::size_t i = 0; i < kBatchHistBuckets; ++i) {

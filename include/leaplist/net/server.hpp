@@ -39,6 +39,7 @@
 #include "leaplist/map.hpp"
 #include "leaplist/net/protocol.hpp"
 #include "leaplist/sharded.hpp"
+#include "leaplist/store/store.hpp"
 
 namespace leap::net {
 
@@ -62,6 +63,13 @@ struct ServerOptions {
   // same pause also follows EMFILE/ENFILE regardless of this cap.
   std::size_t accept_pause = 0;
   unsigned accept_backoff_ms = 100;
+
+  // Durable tier (leaplist/store/store.hpp). Empty data_dir = today's
+  // pure in-memory behavior: no Store is constructed, writes take no
+  // extra locks, and the store counters stay zero.
+  std::string data_dir;
+  store::FsyncMode fsync_mode = store::FsyncMode::kGroup;
+  std::size_t checkpoint_bytes = 4u << 20;  // per-shard WAL flush bar
 };
 
 /// Aggregated server counters; also the Stats opcode's wire payload.
@@ -97,6 +105,11 @@ class Server {
   /// The served map — for in-process tests to seed or inspect state.
   MapType& map() { return map_; }
 
+  /// The durable tier, or nullptr when running pure in-memory. Valid
+  /// between a successful start() and stop(); tests use it to force
+  /// checkpoints or tear the WAL tail.
+  store::Store* store() { return store_.get(); }
+
  private:
   struct Worker;
   friend struct Worker;
@@ -123,6 +136,10 @@ class Server {
   std::atomic<std::uint64_t> emfile_sheds_{0};
   std::atomic<std::uint64_t> batch_hist_[kBatchHistBuckets] = {};
   std::vector<std::unique_ptr<Worker>> workers_;
+  // Durable tier; stop() folds its final counters here so stats()
+  // stays truthful after shutdown.
+  std::unique_ptr<store::Store> store_;
+  store::StoreStats store_final_{};
 };
 
 }  // namespace leap::net

@@ -1,0 +1,274 @@
+// leap::store on-disk formats — the byte-level codec shared by the WAL
+// writer/replayer (leaplist/store/wal.hpp) and the immutable sorted
+// runs (leaplist/store/run.hpp). Everything is little-endian and
+// CRC-guarded; a record/block either decodes exactly or is rejected.
+//
+//   WAL record := len:u32 crc:u32 payload[len]
+//     payload  := count:u32  count x entry
+//     entry    := kind:u8 key:i64 value:i64          (17 bytes, fixed)
+//   A record whose length prefix is truncated, whose payload is short,
+//   or whose CRC mismatches is a TORN TAIL: replay stops there and the
+//   prefix before it is the recovered history (crash mid-append).
+//
+//   Run file   := blocks... index bloom footer       (see run.hpp)
+//     block    := count:u32 crc:u32  count x entry   (same 17B entries,
+//                 sorted by key, <= kRunBlockEntries each)
+//     index    := block_count x (first_key:i64 off:u64 len:u32)
+//     footer   := fixed kRunFooterBytes at EOF, CRC over index + bloom
+//                 + footer prefix, magic last — a partial run write is
+//                 detected (and deleted at recovery) by footer failure.
+//
+// The CRC is CRC-32C (Castagnoli), software table-driven — no ISA
+// dependency. The bloom filter is split-block-free classic double
+// hashing: k = kBloomHashes probes derived from one splitmix64 pass.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace leap::store {
+
+/// Entry kinds carried by both WAL records and run blocks. A tombstone
+/// in a run shadows any older run's value for the key; in a WAL it
+/// replays as an erase.
+enum : std::uint8_t {
+  kEntryValue = 0,
+  kEntryTombstone = 1,
+};
+
+/// One logical mutation: a put (kEntryValue) or an erase
+/// (kEntryTombstone, value ignored/zero). The unit of WAL payloads, run
+/// blocks, and recovery replay.
+struct Entry {
+  std::uint8_t kind = kEntryValue;
+  std::int64_t key = 0;
+  std::int64_t value = 0;
+};
+
+inline constexpr std::size_t kEntryBytes = 17;  // kind + key + value
+
+/// Hard ceiling on one WAL record's payload; a longer length prefix is
+/// treated as a torn tail (the largest legal batch is far below this).
+inline constexpr std::uint32_t kMaxWalRecordBytes = 1u << 20;
+
+inline constexpr std::size_t kRunBlockEntries = 256;
+inline constexpr std::size_t kRunIndexEntryBytes = 20;  // key + off + len
+inline constexpr std::size_t kRunFooterBytes = 64;
+inline constexpr std::uint64_t kRunMagic = 0x314e55525041454cull;  // "LEAPRUN1"
+inline constexpr std::uint32_t kRunVersion = 1;
+
+inline constexpr std::size_t kBloomBitsPerKey = 10;
+inline constexpr std::uint32_t kBloomHashes = 6;
+
+// --- CRC-32C (software, table-driven) ---------------------------------
+
+namespace detail {
+
+struct CrcTable {
+  std::uint32_t at[256];
+};
+
+inline constexpr CrcTable make_crc_table() {
+  CrcTable table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1) ? 0x82f63b78u : 0);
+    }
+    table.at[i] = crc;
+  }
+  return table;
+}
+
+inline constexpr CrcTable kCrcTable = make_crc_table();
+
+}  // namespace detail
+
+/// CRC-32C over `size` bytes; chainable via `seed` (pass a previous
+/// return value to extend the checksum across discontiguous sections).
+inline std::uint32_t crc32c(const void* data, std::size_t size,
+                            std::uint32_t seed = 0) {
+  const std::uint8_t* p = static_cast<const std::uint8_t*>(data);
+  std::uint32_t crc = ~seed;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = (crc >> 8) ^ detail::kCrcTable.at[(crc ^ p[i]) & 0xff];
+  }
+  return ~crc;
+}
+
+// --- little-endian primitives ----------------------------------------
+
+inline void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+inline void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+inline void put_i64(std::vector<std::uint8_t>& out, std::int64_t v) {
+  put_u64(out, static_cast<std::uint64_t>(v));
+}
+
+inline std::uint32_t load_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= std::uint32_t{p[i]} << (8 * i);
+  return v;
+}
+
+inline std::uint64_t load_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= std::uint64_t{p[i]} << (8 * i);
+  return v;
+}
+
+inline std::int64_t load_i64(const std::uint8_t* p) {
+  return static_cast<std::int64_t>(load_u64(p));
+}
+
+inline void put_entry(std::vector<std::uint8_t>& out, const Entry& e) {
+  out.push_back(e.kind);
+  put_i64(out, e.key);
+  put_i64(out, e.value);
+}
+
+inline Entry load_entry(const std::uint8_t* p) {
+  Entry e;
+  e.kind = p[0];
+  e.key = load_i64(p + 1);
+  e.value = load_i64(p + 9);
+  return e;
+}
+
+// --- WAL record codec -------------------------------------------------
+
+/// Append one framed WAL record carrying `n` entries onto `out`.
+inline void encode_wal_record(std::vector<std::uint8_t>& out,
+                              const Entry* entries, std::size_t n) {
+  const std::size_t at = out.size();
+  put_u32(out, 0);  // length placeholder
+  put_u32(out, 0);  // crc placeholder
+  const std::size_t payload_at = out.size();
+  put_u32(out, static_cast<std::uint32_t>(n));
+  for (std::size_t i = 0; i < n; ++i) put_entry(out, entries[i]);
+  const std::uint32_t len =
+      static_cast<std::uint32_t>(out.size() - payload_at);
+  const std::uint32_t crc = crc32c(out.data() + payload_at, len);
+  for (int i = 0; i < 4; ++i) {
+    out[at + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(len >> (8 * i));
+    out[at + 4 + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(crc >> (8 * i));
+  }
+}
+
+enum class WalParse {
+  kRecord,  // one record decoded; `consumed` advanced past it
+  kEnd,     // clean end of the byte stream (size == 0)
+  kTorn,    // truncated/corrupt tail — stop replay, keep the prefix
+};
+
+/// Decode the next WAL record at `data`. Entries are APPENDED to `ops`.
+/// Anything that does not parse exactly — short prefix, oversized or
+/// zero length, short payload, CRC mismatch — is a torn tail, never an
+/// error: crash-consistency treats it as "the append did not happen".
+/// Exception: an all-zero frame header is a CLEAN end, not a tear —
+/// segments are fallocate-preallocated, so the space past the last
+/// record is zeros (a real record never has len 0).
+inline WalParse parse_wal_record(const std::uint8_t* data, std::size_t size,
+                                 std::size_t& consumed,
+                                 std::vector<Entry>& ops) {
+  if (size == 0) return WalParse::kEnd;
+  if (size < 8) return WalParse::kTorn;
+  const std::uint32_t len = load_u32(data);
+  const std::uint32_t crc = load_u32(data + 4);
+  if (len == 0 && crc == 0) return WalParse::kEnd;  // preallocated tail
+  if (len < 4 || len > kMaxWalRecordBytes) return WalParse::kTorn;
+  if (size < 8 + static_cast<std::size_t>(len)) return WalParse::kTorn;
+  if (crc32c(data + 8, len) != crc) return WalParse::kTorn;
+  const std::uint32_t count = load_u32(data + 8);
+  if (static_cast<std::size_t>(len) != 4 + count * kEntryBytes) {
+    return WalParse::kTorn;
+  }
+  const std::uint8_t* at = data + 12;
+  for (std::uint32_t i = 0; i < count; ++i, at += kEntryBytes) {
+    const Entry e = load_entry(at);
+    if (e.kind != kEntryValue && e.kind != kEntryTombstone) {
+      return WalParse::kTorn;
+    }
+    ops.push_back(e);
+  }
+  consumed = 8 + static_cast<std::size_t>(len);
+  return WalParse::kRecord;
+}
+
+// --- bloom filter -----------------------------------------------------
+
+namespace detail {
+
+inline std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace detail
+
+/// Per-run bloom filter over point keys: kBloomBitsPerKey bits per
+/// expected key, kBloomHashes probes by classic double hashing. A
+/// negative answer proves the key is not in the run, so a point miss
+/// skips the block read entirely (the Memento/REMIX argument for
+/// keeping cold misses cheap).
+class Bloom {
+ public:
+  Bloom() = default;
+
+  /// Size the filter for `expected` keys (at least one word).
+  explicit Bloom(std::size_t expected) {
+    const std::size_t bits = expected * kBloomBitsPerKey + 63;
+    words_.assign(bits / 64 < 1 ? 1 : bits / 64, 0);
+  }
+
+  /// Adopt serialized filter words (loading a run from disk).
+  explicit Bloom(std::vector<std::uint64_t> words)
+      : words_(std::move(words)) {}
+
+  void add(std::int64_t key) {
+    const std::uint64_t h1 =
+        detail::splitmix64(static_cast<std::uint64_t>(key));
+    const std::uint64_t h2 = detail::splitmix64(h1) | 1;
+    const std::uint64_t bits = words_.size() * 64;
+    for (std::uint32_t i = 0; i < kBloomHashes; ++i) {
+      const std::uint64_t bit = (h1 + i * h2) % bits;
+      words_[bit / 64] |= std::uint64_t{1} << (bit % 64);
+    }
+  }
+
+  bool maybe_contains(std::int64_t key) const {
+    if (words_.empty()) return false;
+    const std::uint64_t h1 =
+        detail::splitmix64(static_cast<std::uint64_t>(key));
+    const std::uint64_t h2 = detail::splitmix64(h1) | 1;
+    const std::uint64_t bits = words_.size() * 64;
+    for (std::uint32_t i = 0; i < kBloomHashes; ++i) {
+      const std::uint64_t bit = (h1 + i * h2) % bits;
+      if (!(words_[bit / 64] & (std::uint64_t{1} << (bit % 64)))) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  const std::vector<std::uint64_t>& words() const { return words_; }
+
+ private:
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace leap::store

@@ -1,0 +1,136 @@
+// Immutable sorted runs: the on-disk cold tier under one shard of the
+// memtable. A checkpoint flush freezes the shard's current contents
+// (plus the erases logged since the previous flush, as tombstones)
+// into one `run-<shard>-<seq>.run` file; newer runs shadow older ones
+// key-by-key and the memtable shadows them all.
+//
+// File layout (codec in format.hpp):
+//
+//   block*  — sorted 17-byte entries, <= kRunBlockEntries per block,
+//             each block length-prefixed and CRC'd independently so a
+//             point read costs one pread + one CRC pass;
+//   index   — (first_key, offset, len) per block, loaded in memory;
+//   bloom   — filter words over every key in the run (point-miss gate);
+//   footer  — fixed-size trailer: version, counts, min/max key fence,
+//             section offsets, a CRC over index+bloom+footer, magic.
+//
+// A run is only trusted if its footer round-trips: a crash mid-flush
+// leaves a file without a valid footer, which recovery deletes (the
+// WAL segments the flush would have retired are still present and
+// replay instead — nothing is lost).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "leaplist/store/format.hpp"
+
+namespace leap::store {
+
+/// Point-lookup result from one run: either a live value or a
+/// tombstone (which ends the newest-to-oldest search with "absent").
+struct RunHit {
+  bool tombstone = false;
+  std::int64_t value = 0;
+};
+
+/// A loaded, immutable run file. The index, bloom filter, and fence
+/// live in memory; entry blocks stay on disk and are pread on demand.
+/// Immutable after load, so concurrent readers share it lock-free via
+/// shared_ptr snapshots of the shard's run list.
+class Run {
+ public:
+  ~Run();
+  Run(const Run&) = delete;
+  Run& operator=(const Run&) = delete;
+
+  /// Open + validate `path`. Returns nullptr (with *err set) if the
+  /// file is unreadable or fails footer/CRC validation — the caller
+  /// treats that as a dead partial flush and deletes the file.
+  static std::shared_ptr<Run> load(const std::string& path,
+                                   std::uint64_t seq, std::string* err);
+
+  /// Point lookup. nullopt = key provably absent from this run.
+  /// `io_ok` is cleared if a block read or CRC failed (counted by the
+  /// store; the lookup degrades to "absent here, keep searching").
+  std::optional<RunHit> get(std::int64_t key, bool* io_ok) const;
+
+  /// Append every entry (values AND tombstones) with low <= key <=
+  /// high onto `out`, at most `cap` of them, in key order. Returns the
+  /// number appended; sets *io_ok false on a block read/CRC failure.
+  std::size_t read_range(std::int64_t low, std::int64_t high,
+                         std::size_t cap, std::vector<Entry>& out,
+                         bool* io_ok) const;
+
+  /// Fence check: can this run contain `key` at all?
+  bool fence_contains(std::int64_t key) const {
+    return entry_count_ > 0 && key >= min_key_ && key <= max_key_;
+  }
+  /// Does [low, high] overlap the run's key fence?
+  bool fence_overlaps(std::int64_t low, std::int64_t high) const {
+    return entry_count_ > 0 && low <= max_key_ && high >= min_key_;
+  }
+  const Bloom& bloom() const { return bloom_; }
+  std::uint64_t seq() const { return seq_; }
+  std::uint64_t entry_count() const { return entry_count_; }
+  std::int64_t min_key() const { return min_key_; }
+  std::int64_t max_key() const { return max_key_; }
+
+ private:
+  Run() = default;
+
+  struct IndexEntry {
+    std::int64_t first_key;
+    std::uint64_t offset;
+    std::uint32_t len;
+  };
+
+  /// Read + verify block `idx`, decode its entries into `out`.
+  bool read_block(std::size_t idx, std::vector<Entry>& out) const;
+
+  int fd_ = -1;
+  std::uint64_t seq_ = 0;
+  std::uint64_t entry_count_ = 0;
+  std::int64_t min_key_ = 0;
+  std::int64_t max_key_ = 0;
+  std::vector<IndexEntry> index_;
+  Bloom bloom_;
+};
+
+/// Streaming writer: feed add() entries in strictly ascending key
+/// order, then finish() seals blocks + index + bloom + footer and
+/// fsyncs. An unfinished file is invalid by construction (no footer).
+class RunWriter {
+ public:
+  /// `expected` sizes the bloom filter (entry count upper bound).
+  RunWriter(std::string path, std::size_t expected);
+
+  void add(const Entry& e);
+
+  /// Seal and fsync the file. False on I/O failure (caller deletes).
+  bool finish(std::string* err);
+
+  std::uint64_t entry_count() const { return entry_count_; }
+
+ private:
+  void seal_block();
+
+  std::string path_;
+  int fd_ = -1;
+  bool io_error_ = false;
+  std::uint64_t file_off_ = 0;
+  std::uint64_t entry_count_ = 0;
+  std::int64_t min_key_ = 0;
+  std::int64_t max_key_ = 0;
+  std::vector<std::uint8_t> block_;   // entries of the open block
+  std::size_t block_entries_ = 0;
+  std::int64_t block_first_key_ = 0;
+  std::vector<std::uint8_t> index_;
+  std::uint32_t block_count_ = 0;
+  Bloom bloom_;
+};
+
+}  // namespace leap::store

@@ -1,0 +1,139 @@
+// One write-ahead-log segment: a preallocated fd, a user-space append
+// buffer, and the byte accounting the group-commit machinery runs on.
+// Each shard of the store owns a sequence of segments,
+// `wal-<shard>-<seq>.log`; exactly one (the highest seq) is open for
+// appending at a time, and a checkpoint flush retires every older
+// segment.
+//
+// Appends are BUFFERED: append() is a memcpy under the shard's commit
+// mutex (no syscall on the commit path); sync_flush() writes the
+// buffer to the fd and fdatasyncs it. Segments are fallocate-
+// preallocated so the fdatasync never journals block allocation or a
+// size change — roughly half the latency of syncing a growing file.
+// The preallocated tail is zeros, which replay_wal_file reads as a
+// clean end of log (format.hpp).
+//
+// Offsets are LOGICAL and monotone across rotation: a segment opened
+// after N logical bytes were ever appended to the shard starts at
+// logical offset N, so a waiter's durability target ("my record ends
+// at logical byte E") survives the segment it was written to being
+// rotated away — the final sync of a retiring segment marks all of
+// its bytes durable before the swap.
+//
+// Thread contract (enforced by the Store, see store.hpp):
+//   * append() runs under the shard's commit mutex (one appender at a
+//     time; commit order == log order). An internal buffer mutex
+//     hands the bytes to the flush side.
+//   * sync_flush()/flush_buffered()/durable accounting run under the
+//     shard's fsync mutex (serializes fd writes, excludes a sync in
+//     flight against the fd being swapped by rotation). The fsync
+//     mutex is also the GROUP-COMMIT leader election: whoever holds
+//     it syncs everything appended so far, and blocked waiters whose
+//     target that covered return without syncing at all.
+//   * appended()/durable() are lock-free reads for waiters.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "leaplist/store/format.hpp"
+
+namespace leap::store {
+
+class Wal {
+ public:
+  Wal() = default;
+  ~Wal();
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  /// Create and open segment file `path` (fresh, preallocated to
+  /// `prealloc` bytes when the filesystem supports it). `seq` is the
+  /// segment's sequence number, `logical_base` the shard's logical
+  /// byte count so far. Returns false (with *err set) on I/O failure.
+  bool open_fresh(const std::string& path, std::uint64_t seq,
+                  std::uint64_t logical_base, std::uint64_t prealloc,
+                  std::string* err);
+
+  /// Buffer `size` raw bytes (already-framed records). Returns the
+  /// logical end offset of the append, i.e. the durability target for
+  /// a waiter, or 0 if the segment is unhealthy. Caller holds the
+  /// commit mutex.
+  std::uint64_t append(const std::uint8_t* data, std::size_t size);
+
+  /// Write any buffered bytes to the fd (no fsync). Caller holds the
+  /// fsync mutex. False on write failure (the segment goes unhealthy
+  /// and durable() is released to appended() so waiters never hang on
+  /// bytes that can no longer reach the disk).
+  bool flush_buffered();
+
+  /// flush_buffered() + fdatasync, then advance durable() to every
+  /// byte the flush covered (everything appended before the call —
+  /// the group-commit step). Caller holds the fsync mutex.
+  bool sync_flush();
+
+  /// Close the fd (rotation retires this segment after a final sync).
+  void close_fd();
+
+  std::uint64_t appended() const {
+    return appended_.load(std::memory_order_acquire);
+  }
+  std::uint64_t durable() const {
+    return durable_.load(std::memory_order_acquire);
+  }
+  /// Bytes appended into THIS segment (checkpoint threshold input).
+  std::uint64_t segment_bytes() const {
+    return appended() - logical_base_;
+  }
+  std::uint64_t seq() const { return seq_; }
+  const std::string& path() const { return path_; }
+  bool healthy() const { return fd_ >= 0 && !io_error_; }
+
+  /// Mark everything appended so far durable (rotation's final sync,
+  /// or an unhealthy segment releasing its waiters).
+  void mark_all_durable() {
+    durable_.store(appended_.load(std::memory_order_acquire),
+                   std::memory_order_release);
+  }
+
+  /// Adopt state from a successor segment: keeps the atomics (shared
+  /// accounting) but swaps fd/seq/path. Used by rotation, under both
+  /// the commit and fsync mutexes, after a final sync_flush() (the
+  /// buffer must be empty).
+  void swap_segment(int fd, std::uint64_t seq, std::string path);
+
+  /// Test hook: drop the last `bytes` of the CURRENT segment's
+  /// CONTENT on disk (simulates a crash tearing the final record
+  /// mid-append). Flushes the buffer first; truncation is relative to
+  /// the content end, not the preallocated file size.
+  bool truncate_tail_for_test(std::uint64_t bytes);
+
+ private:
+  int fd_ = -1;
+  bool io_error_ = false;
+  std::uint64_t seq_ = 0;
+  std::uint64_t logical_base_ = 0;
+  std::uint64_t write_off_ = 0;  // bytes written to THIS fd (fsync mu)
+  std::string path_;
+  std::atomic<std::uint64_t> appended_{0};
+  std::atomic<std::uint64_t> durable_{0};
+  // Append-side pending bytes; the commit path memcpys in under
+  // buf_mu_, the flush side (fsync mutex holders) steals the whole
+  // buffer under buf_mu_ and writes it outside.
+  std::mutex buf_mu_;
+  std::vector<std::uint8_t> pending_;
+  std::vector<std::uint8_t> flushing_;  // flush-side scratch (fsync mu)
+};
+
+/// Replay one WAL segment file: decode records front-to-back into
+/// `ops`, stopping cleanly at a torn tail or the preallocated zero
+/// tail. Returns false only on a hard I/O error opening/reading the
+/// file (a torn or empty file is a normal true return; *torn reports
+/// whether a corrupt tail was dropped).
+bool replay_wal_file(const std::string& path, std::vector<Entry>& ops,
+                     bool* torn, std::string* err);
+
+}  // namespace leap::store

@@ -5,9 +5,9 @@
 #      resolve to an existing file (anchors stripped; http(s) links
 #      ignored).
 #   2. Every public header under include/leaplist/ (including the
-#      net/ subtree) must be referenced from docs/architecture.md —
-#      new headers ship with documentation or this check fails the
-#      build.
+#      net/ and store/ subtrees) must be referenced from
+#      docs/architecture.md — new headers ship with documentation or
+#      this check fails the build.
 #
 #   scripts/check_docs.sh [repo-root]     (default: the script's parent)
 set -euo pipefail
@@ -46,7 +46,8 @@ if [[ ! -f "$ARCH" ]]; then
   fail=1
 else
   for header in "$ROOT"/include/leaplist/*.hpp \
-                "$ROOT"/include/leaplist/net/*.hpp; do
+                "$ROOT"/include/leaplist/net/*.hpp \
+                "$ROOT"/include/leaplist/store/*.hpp; do
     [[ -f "$header" ]] || continue
     rel="${header#"$ROOT"/}"
     if ! grep -q "$rel" "$ARCH"; then

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# End-to-end loopback smoke for the serving layer, two phases:
+# End-to-end loopback smoke for the serving layer, three phases:
 #
 #   1. start leapd on an ephemeral port, run leap-loadgen against it
 #      for a few seconds, SIGTERM the server and assert the loadgen
@@ -9,17 +9,26 @@
 #      past-saturation open-loop burst at it — the server must SHED
 #      (nonzero shed count, observed via the Stats opcode through the
 #      loadgen's "server stats" line) instead of stalling, and still
-#      shut down cleanly.
+#      shut down cleanly;
+#   3. persistence: start leapd with --data-dir, write a deterministic
+#      key range (every put acknowledged), kill -9 the server, restart
+#      it on the same directory, and verify every key reads back its
+#      oracle value from the fresh process — recovery proven over the
+#      real wire, not in-process.
 #
 #   scripts/net_smoke.sh [build-dir]      (default: ./build)
 #
 # LEAP_BENCH_SMOKE=1 shrinks the run (ctest and the sanitizer jobs set
-# it); otherwise the phase-1 loadgen drives ~3 s of load.
+# it); otherwise the phase-1 loadgen drives ~3 s of load. Every loadgen
+# invocation runs under a hard timeout; a hung phase dumps the tail of
+# the leapd log before failing, so a wedged server leaves evidence
+# instead of a silent CI timeout.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="${1:-"$ROOT/build"}"
 LOG="$(mktemp)"
+DATADIR=""
 SERVER_PID=""
 
 cleanup() {
@@ -27,8 +36,30 @@ cleanup() {
     kill -9 "$SERVER_PID" 2>/dev/null || true
   fi
   rm -f "$LOG"
+  [[ -n "$DATADIR" ]] && rm -rf "$DATADIR"
 }
 trap cleanup EXIT
+
+# Run a phase command under a hard timeout; on timeout or failure dump
+# the tail of the server log so the failure is diagnosable from CI
+# output alone.
+PHASE_TIMEOUT="${LEAP_SMOKE_TIMEOUT:-120}"
+run_phase() {
+  local name="$1"
+  shift
+  local status=0
+  timeout "$PHASE_TIMEOUT" "$@" || status=$?
+  if [[ "$status" -ne 0 ]]; then
+    if [[ "$status" -eq 124 ]]; then
+      echo "net_smoke: phase '$name' TIMED OUT after ${PHASE_TIMEOUT}s" >&2
+    else
+      echo "net_smoke: phase '$name' failed (exit $status)" >&2
+    fi
+    echo "net_smoke: last 40 leapd log lines:" >&2
+    tail -n 40 "$LOG" >&2
+    exit 1
+  fi
+}
 
 for bin in leapd leap-loadgen; do
   if [[ ! -x "$BUILD/$bin" ]]; then
@@ -84,8 +115,8 @@ start_leapd --stats-interval 0
 SECONDS_ARG=()
 [[ -z "${LEAP_BENCH_SMOKE:-}" ]] && SECONDS_ARG=(--seconds 3)
 
-"$BUILD/leap-loadgen" --port "$PORT" --threads 2 --pipeline 8 \
-  "${SECONDS_ARG[@]}"
+run_phase "serve" "$BUILD/leap-loadgen" --port "$PORT" --threads 2 \
+  --pipeline 8 "${SECONDS_ARG[@]}"
 
 stop_leapd
 SERVED="$(sed -n 's/^leapd: served \([0-9]*\) ops.*/\1/p' "$LOG" | head -n1)"
@@ -103,9 +134,17 @@ fi
 # and its "server stats" line carries the server's own shed counter
 # fetched via the Stats opcode.
 start_leapd --max-queue 8 --stats-interval 0
-GEN_OUT="$("$BUILD/leap-loadgen" --port "$PORT" --threads 2 --seconds 1 \
-  --rate 400000 --preload 0 --mix 30:60:10:0:0)"
+GEN_STATUS=0
+GEN_OUT="$(timeout "$PHASE_TIMEOUT" "$BUILD/leap-loadgen" --port "$PORT" \
+  --threads 2 --seconds 1 --rate 400000 --preload 0 \
+  --mix 30:60:10:0:0)" || GEN_STATUS=$?
 echo "$GEN_OUT"
+if [[ "$GEN_STATUS" -ne 0 ]]; then
+  echo "net_smoke: phase 'shed' failed (exit $GEN_STATUS)" >&2
+  echo "net_smoke: last 40 leapd log lines:" >&2
+  tail -n 40 "$LOG" >&2
+  exit 1
+fi
 SHED="$(printf '%s\n' "$GEN_OUT" | \
         sed -n 's/^leap-loadgen: server stats .*shed=\([0-9]*\) .*/\1/p' | \
         head -n1)"
@@ -116,4 +155,32 @@ if [[ -z "$SHED" || "$SHED" -eq 0 ]]; then
 fi
 stop_leapd
 
-echo "net_smoke: ok ($SERVED ops served phase 1, $SHED shed phase 2)"
+# --- phase 3: write, kill -9, restart, read everything back -----------
+# The loadgen's oracle modes make the verifier stateless: values are a
+# pure function of the key, so the post-crash process needs nothing
+# from the pre-crash one but the --data-dir.
+DATADIR="$(mktemp -d)"
+NKEYS=2000
+[[ -n "${LEAP_BENCH_SMOKE:-}" ]] && NKEYS=500
+
+start_leapd --data-dir "$DATADIR" --fsync-mode group --stats-interval 0
+run_phase "persist-write" "$BUILD/leap-loadgen" --port "$PORT" \
+  --putrange "0:$NKEYS"
+kill -9 "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+
+start_leapd --data-dir "$DATADIR" --fsync-mode group --stats-interval 0
+RECOVERED="$(sed -n 's/^leapd: store open .*recovered=\([0-9]*\).*/\1/p' \
+             "$LOG" | head -n1)"
+if [[ -z "$RECOVERED" ]]; then
+  echo "net_smoke: restarted leapd printed no store-open line" >&2
+  tail -n 40 "$LOG" >&2
+  exit 1
+fi
+run_phase "persist-verify" "$BUILD/leap-loadgen" --port "$PORT" \
+  --verifyrange "0:$NKEYS"
+stop_leapd
+
+echo "net_smoke: ok ($SERVED ops served phase 1, $SHED shed phase 2," \
+     "$NKEYS keys survived kill -9 phase 3)"

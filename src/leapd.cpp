@@ -4,10 +4,19 @@
 //         [--node-size N] [--batch N]
 //         [--max-queue N] [--max-global N] [--accept-pause N]
 //         [--accept-backoff-ms N] [--stats-interval SECS]
+//         [--data-dir PATH] [--fsync-mode always|group|off]
+//         [--checkpoint-bytes N]
+//
+// Flags are parsed strictly: an unknown flag, a missing value, or a
+// non-numeric value for a numeric flag prints usage to stderr and
+// exits 2 — a typo'd --fsink-mode must never silently run a
+// misconfigured server.
 //
 // Admission control defaults ON here (the library's ServerOptions
 // defaults are OFF so embedded/test servers are unaffected); pass 0 to
-// any cap flag to disable it.
+// any cap flag to disable it. --data-dir enables the durable tier
+// (leaplist/store/store.hpp): recovery replays before the listen line
+// prints, and writes are acked per --fsync-mode (default group).
 //
 // Prints one parseable line once listening:
 //   leapd: listening on 127.0.0.1:<port> (<workers> workers, <shards> shards)
@@ -18,7 +27,10 @@
 // line prints every --stats-interval seconds (0 disables):
 //   leapd: stats ops=... shed=... queue=<now>/<hwm> retries=...
 //   batches=... pauses=... emfile=...
-// and one final such line follows the shutdown report.
+// and one final such line follows the shutdown report. With --data-dir
+// a second line accompanies each:
+//   leapd: store stats wal_appends=... wal_fsyncs=... group_ops=...
+//   flushes=... runs=... bloom_neg=... cold_hits=... recovered=...
 #include <signal.h>
 #include <time.h>
 
@@ -32,17 +44,70 @@
 
 namespace {
 
-long long arg_value(int argc, char** argv, const char* flag,
-                    long long fallback) {
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (std::strcmp(argv[i], flag) == 0) {
-      return std::atoll(argv[i + 1]);
-    }
-  }
-  return fallback;
+void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--port N] [--workers N] [--shards N] [--keys N]\n"
+      "          [--node-size N] [--batch N]\n"
+      "          [--max-queue N] [--max-global N] [--accept-pause N]\n"
+      "          [--accept-backoff-ms N] [--stats-interval SECS]\n"
+      "          [--data-dir PATH] [--fsync-mode always|group|off]\n"
+      "          [--checkpoint-bytes N]\n",
+      argv0);
 }
 
-void print_stats_line(const leap::net::ServerStats& s) {
+/// Strict command-line state: every flag either consumes a valid value
+/// or fails the whole invocation.
+struct Args {
+  int argc;
+  char** argv;
+  int at = 1;
+  bool ok = true;
+
+  bool done() const { return !ok || at >= argc; }
+
+  bool is(const char* flag) const {
+    return std::strcmp(argv[at], flag) == 0;
+  }
+
+  void fail(const char* what) {
+    std::fprintf(stderr, "leapd: %s '%s'\n", what, argv[at]);
+    ok = false;
+  }
+
+  /// Consume the flag at `at` plus its numeric value.
+  bool num(const char* flag, long long* out) {
+    if (!is(flag)) return false;
+    if (at + 1 >= argc) {
+      fail("missing value for");
+      return true;
+    }
+    char* end = nullptr;
+    errno = 0;
+    const long long v = std::strtoll(argv[at + 1], &end, 10);
+    if (errno != 0 || end == argv[at + 1] || *end != '\0') {
+      fail("non-numeric value for");
+      return true;
+    }
+    *out = v;
+    at += 2;
+    return true;
+  }
+
+  /// Consume the flag at `at` plus its string value.
+  bool str(const char* flag, std::string* out) {
+    if (!is(flag)) return false;
+    if (at + 1 >= argc) {
+      fail("missing value for");
+      return true;
+    }
+    *out = argv[at + 1];
+    at += 2;
+    return true;
+  }
+};
+
+void print_stats_line(const leap::net::ServerStats& s, bool store_on) {
   std::printf(
       "leapd: stats ops=%llu shed=%llu queue=%llu/%llu retries=%llu "
       "batches=%llu pauses=%llu emfile=%llu\n",
@@ -54,6 +119,20 @@ void print_stats_line(const leap::net::ServerStats& s) {
       static_cast<unsigned long long>(s.batches),
       static_cast<unsigned long long>(s.accept_pauses),
       static_cast<unsigned long long>(s.emfile_sheds));
+  if (store_on) {
+    std::printf(
+        "leapd: store stats wal_appends=%llu wal_fsyncs=%llu "
+        "group_ops=%llu flushes=%llu runs=%llu bloom_neg=%llu "
+        "cold_hits=%llu recovered=%llu\n",
+        static_cast<unsigned long long>(s.wal_appends),
+        static_cast<unsigned long long>(s.wal_fsyncs),
+        static_cast<unsigned long long>(s.wal_group_ops),
+        static_cast<unsigned long long>(s.store_flushes),
+        static_cast<unsigned long long>(s.store_runs),
+        static_cast<unsigned long long>(s.bloom_negatives),
+        static_cast<unsigned long long>(s.cold_hits),
+        static_cast<unsigned long long>(s.recovered_ops));
+  }
   std::fflush(stdout);
 }
 
@@ -61,29 +140,59 @@ void print_stats_line(const leap::net::ServerStats& s) {
 
 int main(int argc, char** argv) {
   leap::net::ServerOptions opts;
-  opts.port =
-      static_cast<std::uint16_t>(arg_value(argc, argv, "--port", 0));
-  opts.workers =
-      static_cast<unsigned>(arg_value(argc, argv, "--workers", 2));
-  opts.shards =
-      static_cast<std::size_t>(arg_value(argc, argv, "--shards", 8));
-  opts.key_hi = arg_value(argc, argv, "--keys", 1'000'000);
-  opts.max_batch =
-      static_cast<std::size_t>(arg_value(argc, argv, "--batch", 128));
-  const long long node_size = arg_value(argc, argv, "--node-size", 0);
+  // leapd defaults (admission ON; the library defaults stay OFF).
+  long long port = 0, workers = 2, shards = 8, keys = 1'000'000;
+  long long node_size = 0, batch = 128;
+  long long max_queue = 1024, max_global = 8192, accept_pause = 16384;
+  long long accept_backoff_ms = 100, stats_interval = 10;
+  long long checkpoint_bytes = 4 << 20;
+  std::string data_dir, fsync_mode_text = "group";
+
+  Args args{argc, argv};
+  while (!args.done()) {
+    if (args.num("--port", &port) || args.num("--workers", &workers) ||
+        args.num("--shards", &shards) || args.num("--keys", &keys) ||
+        args.num("--node-size", &node_size) ||
+        args.num("--batch", &batch) ||
+        args.num("--max-queue", &max_queue) ||
+        args.num("--max-global", &max_global) ||
+        args.num("--accept-pause", &accept_pause) ||
+        args.num("--accept-backoff-ms", &accept_backoff_ms) ||
+        args.num("--stats-interval", &stats_interval) ||
+        args.num("--checkpoint-bytes", &checkpoint_bytes) ||
+        args.str("--data-dir", &data_dir) ||
+        args.str("--fsync-mode", &fsync_mode_text)) {
+      continue;
+    }
+    args.fail("unknown flag");
+  }
+  const auto fsync_mode = leap::store::parse_fsync_mode(fsync_mode_text);
+  if (!fsync_mode) {
+    std::fprintf(stderr, "leapd: bad --fsync-mode '%s' (always|group|off)\n",
+                 fsync_mode_text.c_str());
+    args.ok = false;
+  }
+  if (!args.ok) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  opts.port = static_cast<std::uint16_t>(port);
+  opts.workers = static_cast<unsigned>(workers);
+  opts.shards = static_cast<std::size_t>(shards);
+  opts.key_hi = keys;
+  opts.max_batch = static_cast<std::size_t>(batch);
   if (node_size > 0) {
     opts.params.node_size = static_cast<std::size_t>(node_size);
   }
-  opts.max_queue =
-      static_cast<std::size_t>(arg_value(argc, argv, "--max-queue", 1024));
-  opts.max_global =
-      static_cast<std::size_t>(arg_value(argc, argv, "--max-global", 8192));
-  opts.accept_pause = static_cast<std::size_t>(
-      arg_value(argc, argv, "--accept-pause", 16384));
-  opts.accept_backoff_ms = static_cast<unsigned>(
-      arg_value(argc, argv, "--accept-backoff-ms", 100));
-  const long long stats_interval =
-      arg_value(argc, argv, "--stats-interval", 10);
+  opts.max_queue = static_cast<std::size_t>(max_queue);
+  opts.max_global = static_cast<std::size_t>(max_global);
+  opts.accept_pause = static_cast<std::size_t>(accept_pause);
+  opts.accept_backoff_ms = static_cast<unsigned>(accept_backoff_ms);
+  opts.data_dir = data_dir;
+  opts.fsync_mode = *fsync_mode;
+  opts.checkpoint_bytes = static_cast<std::size_t>(checkpoint_bytes);
+  const bool store_on = !data_dir.empty();
 
   // Block the shutdown signals before spawning workers (they inherit
   // the mask), then wait for one synchronously — no async handler.
@@ -99,6 +208,15 @@ int main(int argc, char** argv) {
   if (!server.start(&error)) {
     std::fprintf(stderr, "leapd: start failed: %s\n", error.c_str());
     return 1;
+  }
+  if (store_on) {
+    const leap::net::ServerStats boot = server.stats();
+    std::printf("leapd: store open dir=%s fsync=%s recovered=%llu "
+                "runs=%llu\n",
+                data_dir.c_str(),
+                leap::store::fsync_mode_name(*fsync_mode),
+                static_cast<unsigned long long>(boot.recovered_ops),
+                static_cast<unsigned long long>(boot.store_runs));
   }
   std::printf("leapd: listening on 127.0.0.1:%u (%u workers, %zu shards)\n",
               static_cast<unsigned>(server.port()), opts.workers,
@@ -118,7 +236,7 @@ int main(int argc, char** argv) {
     const int sig = sigtimedwait(&sigs, nullptr, &ts);
     if (sig > 0) break;
     if (errno == EAGAIN) {  // interval elapsed, no signal yet
-      print_stats_line(server.stats());
+      print_stats_line(server.stats(), store_on);
       continue;
     }
     if (errno == EINTR) continue;
@@ -132,6 +250,6 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(stats.ops),
       static_cast<unsigned long long>(stats.accepted),
       static_cast<unsigned long long>(stats.errored));
-  print_stats_line(stats);
+  print_stats_line(stats, store_on);
   return 0;
 }

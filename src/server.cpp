@@ -129,6 +129,7 @@ struct Server::Worker {
   std::vector<Request> batch;
   std::vector<TxnResult> results;
   std::vector<std::pair<std::int64_t, std::int64_t>> scan_buf;
+  std::vector<store::LogOp> log_ops;
   // Distinct addresses tagging the non-connection epoll registrations.
   int listen_tag = 0;
   int wake_tag = 0;
@@ -529,6 +530,45 @@ struct Server::Worker {
     }
   }
 
+  /// Route a commit through the durable tier when one is configured:
+  /// the batch's mutations are WAL-logged under the affected shards'
+  /// commit mutexes (log order == commit order) and the call returns
+  /// only once they are durable per --fsync-mode — response frames are
+  /// built after, so an acked write is a durable write. Pure-read
+  /// batches and the in-memory configuration skip the store entirely.
+  template <typename Ops, typename Fn>
+  void durable_apply(const Ops& ops, Fn&& apply) {
+    store::Store* st = server.store_.get();
+    if (st == nullptr) {
+      apply();
+      return;
+    }
+    log_ops.clear();
+    for (const auto& op : ops) {
+      if (op.op == Op::kPut) {
+        log_ops.push_back({false, op.key, op.value});
+      } else if (op.op == Op::kErase) {
+        log_ops.push_back({true, op.key, 0});
+      }
+    }
+    st->log_batch(log_ops.data(), log_ops.size(), apply);
+  }
+
+  /// After a commit with the store enabled, answer memtable misses
+  /// from the cold tier (tombstones, then bloom-gated runs).
+  template <typename Ops>
+  void patch_cold_gets(const Ops& ops) {
+    store::Store* st = server.store_.get();
+    if (st == nullptr) return;
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      if (ops[i].op != Op::kGet || results[i].flag != 0) continue;
+      if (const auto cold = st->get_cold(ops[i].key)) {
+        results[i].flag = 1;
+        results[i].value = *cold;
+      }
+    }
+  }
+
   /// Execute `batch` (point ops only) as ONE transaction and append
   /// the per-op response frames in order. The closure may re-run on
   /// conflict, so results are (re)collected per attempt and frames are
@@ -540,28 +580,32 @@ struct Server::Worker {
         1, std::memory_order_relaxed);
     const std::uint64_t aborts_before = sample_aborts();
     Server::MapType& map = server.map_;
-    leap::txn([&](stm::Tx& tx) {
-      results.clear();
-      for (const Request& req : batch) {
-        TxnResult r;
-        switch (req.op) {
-          case Op::kGet: {
-            const auto hit = map.get_in(tx, req.key);
-            r.flag = hit.has_value() ? 1 : 0;
-            r.value = hit.value_or(0);
-            break;
+    const auto apply = [&] {
+      leap::txn([&](stm::Tx& tx) {
+        results.clear();
+        for (const Request& req : batch) {
+          TxnResult r;
+          switch (req.op) {
+            case Op::kGet: {
+              const auto hit = map.get_in(tx, req.key);
+              r.flag = hit.has_value() ? 1 : 0;
+              r.value = hit.value_or(0);
+              break;
+            }
+            case Op::kPut:
+              r.flag = map.insert_in(tx, req.key, req.value) ? 1 : 0;
+              break;
+            default:  // kErase; parse_request admits nothing else here
+              r.flag = map.erase_in(tx, req.key) ? 1 : 0;
+              break;
           }
-          case Op::kPut:
-            r.flag = map.insert_in(tx, req.key, req.value) ? 1 : 0;
-            break;
-          default:  // kErase; parse_request admits nothing else here
-            r.flag = map.erase_in(tx, req.key) ? 1 : 0;
-            break;
+          results.push_back(r);
         }
-        results.push_back(r);
-      }
-    });
+      });
+    };
+    durable_apply(batch, apply);
     charge_retries(aborts_before);
+    patch_cold_gets(batch);
     for (std::size_t i = 0; i < batch.size(); ++i) {
       switch (batch[i].op) {
         case Op::kGet:
@@ -583,28 +627,32 @@ struct Server::Worker {
   void exec_txn(const Request& req, std::vector<std::uint8_t>& out) {
     const std::uint64_t aborts_before = sample_aborts();
     Server::MapType& map = server.map_;
-    leap::txn([&](stm::Tx& tx) {
-      results.clear();
-      for (const TxnOp& op : req.txn) {
-        TxnResult r;
-        switch (op.op) {
-          case Op::kGet: {
-            const auto hit = map.get_in(tx, op.key);
-            r.flag = hit.has_value() ? 1 : 0;
-            r.value = hit.value_or(0);
-            break;
+    const auto apply = [&] {
+      leap::txn([&](stm::Tx& tx) {
+        results.clear();
+        for (const TxnOp& op : req.txn) {
+          TxnResult r;
+          switch (op.op) {
+            case Op::kGet: {
+              const auto hit = map.get_in(tx, op.key);
+              r.flag = hit.has_value() ? 1 : 0;
+              r.value = hit.value_or(0);
+              break;
+            }
+            case Op::kPut:
+              r.flag = map.insert_in(tx, op.key, op.value) ? 1 : 0;
+              break;
+            default:  // kErase; parse_request rejects the rest
+              r.flag = map.erase_in(tx, op.key) ? 1 : 0;
+              break;
           }
-          case Op::kPut:
-            r.flag = map.insert_in(tx, op.key, op.value) ? 1 : 0;
-            break;
-          default:  // kErase; parse_request rejects the rest
-            r.flag = map.erase_in(tx, op.key) ? 1 : 0;
-            break;
+          results.push_back(r);
         }
-        results.push_back(r);
-      }
-    });
+      });
+    };
+    durable_apply(req.txn, apply);
     charge_retries(aborts_before);
+    patch_cold_gets(req.txn);
     append_txn_done(out, req.txn, results);
   }
 
@@ -635,7 +683,11 @@ struct Server::Worker {
     }
     scan_buf.clear();
     const std::uint64_t aborts_before = sample_aborts();
-    server.map_.scan(s.next_low, cap, scan_buf);
+    if (store::Store* st = server.store_.get()) {
+      st->scan_merged(s.next_low, cap, scan_buf);
+    } else {
+      server.map_.scan(s.next_low, cap, scan_buf);
+    }
     charge_retries(aborts_before);
     // scan() is bounded below only; clip the tail past `high`.
     std::size_t n = scan_buf.size();
@@ -716,6 +768,19 @@ Server::Server(const ServerOptions& opts)
 Server::~Server() { stop(); }
 
 bool Server::start(std::string* error) {
+  if (!opts_.data_dir.empty()) {
+    // Recovery runs before the socket exists: by the time a client can
+    // connect, every acknowledged pre-crash write is back in the map.
+    store::StoreOptions sopts;
+    sopts.data_dir = opts_.data_dir;
+    sopts.fsync_mode = opts_.fsync_mode;
+    sopts.checkpoint_bytes = opts_.checkpoint_bytes;
+    store_ = std::make_unique<store::Store>(map_, sopts);
+    if (!store_->open(error)) {
+      store_.reset();
+      return false;
+    }
+  }
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
                         0);
   if (listen_fd_ < 0) {
@@ -798,6 +863,11 @@ void Server::stop() {
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
+  if (store_) {
+    store_->close();
+    store_final_ = store_->stats();
+    store_.reset();
+  }
 }
 
 ServerStats Server::stats() const {
@@ -832,6 +902,15 @@ ServerStats Server::stats() const {
       s.batch_hist[i] += c.batch_hist[i].load(std::memory_order_relaxed);
     }
   }
+  const store::StoreStats st = store_ ? store_->stats() : store_final_;
+  s.wal_appends = st.wal_appends;
+  s.wal_fsyncs = st.wal_fsyncs;
+  s.wal_group_ops = st.wal_group_ops;
+  s.store_flushes = st.flushes;
+  s.store_runs = st.runs;
+  s.bloom_negatives = st.bloom_negatives;
+  s.cold_hits = st.cold_hits;
+  s.recovered_ops = st.recovered_ops;
   return s;
 }
 

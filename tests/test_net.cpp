@@ -615,6 +615,14 @@ void test_stats_codec_round_trip() {
   in.queue_hwm = 9;
   in.accept_pauses = 10;
   in.emfile_sheds = 11;
+  in.wal_appends = 12;
+  in.wal_fsyncs = 13;
+  in.wal_group_ops = 14;
+  in.store_flushes = 15;
+  in.store_runs = 16;
+  in.bloom_negatives = 17;
+  in.cold_hits = 18;
+  in.recovered_ops = 19;
   for (std::size_t i = 0; i < kBatchHistBuckets; ++i) {
     in.batch_hist[i] = 100 + i;
   }
@@ -637,6 +645,14 @@ void test_stats_codec_round_trip() {
   CHECK_EQ(out.queue_hwm, in.queue_hwm);
   CHECK_EQ(out.accept_pauses, in.accept_pauses);
   CHECK_EQ(out.emfile_sheds, in.emfile_sheds);
+  CHECK_EQ(out.wal_appends, in.wal_appends);
+  CHECK_EQ(out.wal_fsyncs, in.wal_fsyncs);
+  CHECK_EQ(out.wal_group_ops, in.wal_group_ops);
+  CHECK_EQ(out.store_flushes, in.store_flushes);
+  CHECK_EQ(out.store_runs, in.store_runs);
+  CHECK_EQ(out.bloom_negatives, in.bloom_negatives);
+  CHECK_EQ(out.cold_hits, in.cold_hits);
+  CHECK_EQ(out.recovered_ops, in.recovered_ops);
   for (std::size_t i = 0; i < kBatchHistBuckets; ++i) {
     CHECK_EQ(out.batch_hist[i], in.batch_hist[i]);
   }
