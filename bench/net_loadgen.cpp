@@ -31,7 +31,8 @@
 //   leap-loadgen --port P [--host 127.0.0.1] [--threads N] [--seconds S]
 //     [--pipeline D] [--rate R] [--keys K] [--preload N]
 //     [--mix get:put:erase:scan:txn] [--sweep] [--loadcurve]
-//     [--putrange A:B] [--verifyrange A:B]
+//     [--putrange A:B] [--verifyrange A:B] [--tolerate-storefail]
+//     [--timeout-ms MS]
 //
 // --putrange / --verifyrange are the crash-recovery oracle modes (no
 // load phase runs): putrange writes every key in [A, B) with the
@@ -41,6 +42,16 @@
 // pure function of the key, a verifier needs no state from the writer:
 // scripts/net_smoke.sh writes, kill -9s leapd, restarts it on the same
 // --data-dir, and verifies from a fresh process.
+//
+// An Err::kStoreFailed response (the store went read-only fail-stop)
+// is, like kOverloaded, an honest per-op answer: the load phase counts
+// it shed. putrange normally fails hard on it; with
+// --tolerate-storefail it counts acked vs store-failed puts and prints
+//   leap-loadgen: putrange acked=N storefailed=M
+// (how net_smoke's fault-injection phase asserts writes shed while the
+// connection and the gets keep working). --timeout-ms (default 10000)
+// bounds connect AND every socket read/write on the blocking clients,
+// so a wedged server fails the run instead of hanging it.
 #include <poll.h>
 
 #include <cstdio>
@@ -78,6 +89,7 @@ struct GenConfig {
   std::int64_t keys = 1'000'000;
   std::int64_t preload = 100'000;
   MixPct mix;
+  int timeout_ms = 10'000;  // connect + socket read/write bound
 };
 
 struct GenResult {
@@ -135,7 +147,7 @@ GenResult run_conn(const GenConfig& cfg, unsigned index,
                    std::uint64_t start_ns, std::uint64_t deadline_ns) {
   GenResult result;
   Client client;
-  if (!client.connect(cfg.host, cfg.port)) {
+  if (!client.connect(cfg.host, cfg.port, cfg.timeout_ms)) {
     result.failures = 1;
     return result;
   }
@@ -261,9 +273,11 @@ GenResult run_conn(const GenConfig& cfg, unsigned index,
       in_ofs += 4 + len;
       if (status == Status::kScanChunk) continue;  // op not complete yet
       if (status == Status::kError &&
-          static_cast<Err>(err_code) == Err::kOverloaded &&
+          (static_cast<Err>(err_code) == Err::kOverloaded ||
+           static_cast<Err>(err_code) == Err::kStoreFailed) &&
           !pending.empty()) {
-        // Admission control answered this op in its FIFO slot; the
+        // Admission control (kOverloaded) or a fail-stopped store
+        // (kStoreFailed) answered this op in its FIFO slot; the
         // connection survives. Count it shed — not goodput, not a
         // failure — and keep going.
         pending.pop_front();
@@ -297,7 +311,7 @@ GenResult run_conn(const GenConfig& cfg, unsigned index,
 bool preload(const GenConfig& cfg) {
   if (cfg.preload <= 0) return true;
   Client client;
-  if (!client.connect(cfg.host, cfg.port)) return false;
+  if (!client.connect(cfg.host, cfg.port, cfg.timeout_ms)) return false;
   const std::int64_t count = std::min(cfg.preload, cfg.keys);
   const std::int64_t stride = std::max<std::int64_t>(1, cfg.keys / count);
   constexpr std::int64_t kBurst = 512;
@@ -323,10 +337,15 @@ std::int64_t oracle_value(std::int64_t key) { return key * 31 + 7; }
 
 /// Write every key in [lo, hi) with its oracle value, pipelined in
 /// bursts, every put acknowledged before the function returns true.
-bool put_range(const GenConfig& cfg, std::int64_t lo, std::int64_t hi) {
+/// With `tolerate_storefail`, an Err::kStoreFailed response is counted
+/// (the store went read-only mid-range) instead of failing the run;
+/// the acked/storefailed split is printed either way when nonzero.
+bool put_range(const GenConfig& cfg, std::int64_t lo, std::int64_t hi,
+               bool tolerate_storefail) {
   Client client;
-  if (!client.connect(cfg.host, cfg.port)) return false;
+  if (!client.connect(cfg.host, cfg.port, cfg.timeout_ms)) return false;
   constexpr std::int64_t kBurst = 256;
+  std::uint64_t acked = 0, storefailed = 0;
   for (std::int64_t at = lo; at < hi;) {
     const std::int64_t n = std::min(kBurst, hi - at);
     for (std::int64_t i = 0; i < n; ++i) {
@@ -335,9 +354,24 @@ bool put_range(const GenConfig& cfg, std::int64_t lo, std::int64_t hi) {
     if (!client.flush()) return false;
     for (std::int64_t i = 0; i < n; ++i) {
       const auto resp = client.read_response();
-      if (!resp || resp->status != Status::kOk) return false;
+      if (!resp) return false;
+      if (resp->status == Status::kOk) {
+        acked += 1;
+        continue;
+      }
+      if (tolerate_storefail && resp->status == Status::kError &&
+          static_cast<Err>(resp->error) == Err::kStoreFailed) {
+        storefailed += 1;
+        continue;
+      }
+      return false;
     }
     at += n;
+  }
+  if (storefailed > 0 || tolerate_storefail) {
+    std::printf("leap-loadgen: putrange acked=%llu storefailed=%llu\n",
+                static_cast<unsigned long long>(acked),
+                static_cast<unsigned long long>(storefailed));
   }
   return true;
 }
@@ -346,7 +380,7 @@ bool put_range(const GenConfig& cfg, std::int64_t lo, std::int64_t hi) {
 /// the first mismatch; returns false on any.
 bool verify_range(const GenConfig& cfg, std::int64_t lo, std::int64_t hi) {
   Client client;
-  if (!client.connect(cfg.host, cfg.port)) return false;
+  if (!client.connect(cfg.host, cfg.port, cfg.timeout_ms)) return false;
   constexpr std::int64_t kBurst = 256;
   for (std::int64_t at = lo; at < hi;) {
     const std::int64_t n = std::min(kBurst, hi - at);
@@ -438,6 +472,8 @@ int main(int argc, char** argv) {
       value_arg(argc, argv, "--keys", smoke ? 65536 : 1'000'000));
   base.preload = static_cast<std::int64_t>(
       value_arg(argc, argv, "--preload", smoke ? 4096 : 100'000));
+  base.timeout_ms =
+      static_cast<int>(value_arg(argc, argv, "--timeout-ms", 10'000));
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], "--mix") == 0) {
       MixPct mix;
@@ -453,6 +489,7 @@ int main(int argc, char** argv) {
   }
 
   // Oracle modes short-circuit the load phase entirely.
+  const bool tolerate_storefail = flag_arg(argc, argv, "--tolerate-storefail");
   for (int i = 1; i + 1 < argc; ++i) {
     const bool is_put = std::strcmp(argv[i], "--putrange") == 0;
     const bool is_verify = std::strcmp(argv[i], "--verifyrange") == 0;
@@ -463,7 +500,7 @@ int main(int argc, char** argv) {
                    argv[i + 1]);
       return 1;
     }
-    const bool ok = is_put ? put_range(base, lo, hi)
+    const bool ok = is_put ? put_range(base, lo, hi, tolerate_storefail)
                            : verify_range(base, lo, hi);
     if (!ok) {
       std::fprintf(stderr, "leap-loadgen: %s [%lld,%lld) FAILED\n",
@@ -592,14 +629,15 @@ int main(int argc, char** argv) {
   // reports both sides of the story; scripts/net_smoke.sh greps this.
   {
     Client probe;
-    if (probe.connect(base.host, base.port)) {
+    if (probe.connect(base.host, base.port, base.timeout_ms)) {
       if (const auto s = probe.stats()) {
         std::printf(
             "leap-loadgen: server stats ops=%llu shed=%llu "
             "queue_hwm=%llu stm_retries=%llu accept_pauses=%llu "
             "emfile_sheds=%llu wal_appends=%llu wal_fsyncs=%llu "
             "group_ops=%llu flushes=%llu runs=%llu cold_hits=%llu "
-            "recovered=%llu\n",
+            "recovered=%llu fail_stop=%llu corrupt=%llu "
+            "ckpt_retries=%llu\n",
             static_cast<unsigned long long>(s->ops),
             static_cast<unsigned long long>(s->shed),
             static_cast<unsigned long long>(s->queue_hwm),
@@ -612,7 +650,10 @@ int main(int argc, char** argv) {
             static_cast<unsigned long long>(s->store_flushes),
             static_cast<unsigned long long>(s->store_runs),
             static_cast<unsigned long long>(s->cold_hits),
-            static_cast<unsigned long long>(s->recovered_ops));
+            static_cast<unsigned long long>(s->recovered_ops),
+            static_cast<unsigned long long>(s->store_fail_stop),
+            static_cast<unsigned long long>(s->corrupt_blocks),
+            static_cast<unsigned long long>(s->checkpoint_retries));
       }
     }
   }

@@ -15,9 +15,12 @@
 #pragma once
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -38,16 +41,36 @@ class Client {
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
 
-  bool connect(const std::string& host, std::uint16_t port) {
+  /// Connect, optionally bounded: timeout_ms > 0 caps the connect
+  /// itself (non-blocking + poll) AND every subsequent socket read and
+  /// write (SO_RCVTIMEO / SO_SNDTIMEO — a stalled server then fails
+  /// the client instead of hanging it forever). 0 = block indefinitely
+  /// (the historical behavior).
+  bool connect(const std::string& host, std::uint16_t port,
+               int timeout_ms = 0) {
     close();
     fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
     if (fd_ < 0) return false;
     sockaddr_in addr{};
     addr.sin_family = AF_INET;
     addr.sin_port = htons(port);
-    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
-        ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
-            0) {
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+      close();
+      return false;
+    }
+    if (timeout_ms > 0) {
+      if (!connect_timed(reinterpret_cast<sockaddr*>(&addr), sizeof(addr),
+                         timeout_ms)) {
+        close();
+        return false;
+      }
+      timeval tv{};
+      tv.tv_sec = timeout_ms / 1000;
+      tv.tv_usec = static_cast<long>(timeout_ms % 1000) * 1000;
+      ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+      ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+    } else if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                         sizeof(addr)) != 0) {
       close();
       return false;
     }
@@ -215,6 +238,36 @@ class Client {
   }
 
  private:
+  /// Non-blocking connect bounded by `timeout_ms`, then restore the
+  /// socket to blocking mode (the read/write bound is SO_*TIMEO, not
+  /// O_NONBLOCK). False on refusal, timeout, or any syscall failure.
+  bool connect_timed(const sockaddr* addr, socklen_t addr_len,
+                     int timeout_ms) {
+    const int flags = ::fcntl(fd_, F_GETFL, 0);
+    if (flags < 0 || ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK) != 0) {
+      return false;
+    }
+    if (::connect(fd_, addr, addr_len) != 0) {
+      if (errno != EINPROGRESS) return false;
+      pollfd pfd{};
+      pfd.fd = fd_;
+      pfd.events = POLLOUT;
+      for (;;) {
+        const int rc = ::poll(&pfd, 1, timeout_ms);
+        if (rc > 0) break;
+        if (rc == 0) return false;  // timed out
+        if (errno != EINTR) return false;
+      }
+      int soerr = 0;
+      socklen_t len = sizeof(soerr);
+      if (::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &soerr, &len) != 0 ||
+          soerr != 0) {
+        return false;
+      }
+    }
+    return ::fcntl(fd_, F_SETFL, flags) == 0;
+  }
+
   std::optional<Response> round_trip() {
     if (!flush()) return std::nullopt;
     return read_response();

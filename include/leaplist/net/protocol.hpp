@@ -19,8 +19,9 @@
 //     TxnDone   := n:u16le  n × result   get: found:u8 [value:i64le],
 //                                        put/erase: flag:u8
 //     Error     := code:u8               stream errors close the
-//                                        connection; kOverloaded sheds
-//                                        ONE request and the stream
+//                                        connection; kOverloaded and
+//                                        kStoreFailed answer ONE
+//                                        request and the stream
 //                                        continues
 //     Stats     := n:u8 n × u64le        server counters (n is
 //                                        kStatsWords, field order in
@@ -28,9 +29,11 @@
 //
 // Responses come back in request order on each connection; a Scan
 // request yields zero or more ScanChunk frames then exactly one
-// ScanDone. An Error with code kOverloaded answers exactly one request
-// in its FIFO position — admission control shed it — and is the only
-// Error the connection survives. Every integer is little-endian.
+// ScanDone. Two Error codes answer exactly one request in its FIFO
+// position and leave the connection open: kOverloaded (admission
+// control shed it) and kStoreFailed (the durable store is read-only
+// fail-stop; writes error, reads still serve). Every other Error
+// closes the connection. Every integer is little-endian.
 // Parsers reject frames whose body is shorter or longer than the
 // opcode demands — a frame either decodes exactly or errors out the
 // connection.
@@ -78,9 +81,13 @@ enum class Err : std::uint8_t {
   kBadFrame = 1,    // zero-length or oversized length prefix
   kBadOpcode = 2,   // unknown request opcode
   kBadBody = 3,     // body length/content mismatch for the opcode
-  kOverloaded = 4,  // admission control shed THIS request; the
-                    // connection stays open and later requests are
-                    // answered normally (the only survivable Error)
+  kOverloaded = 4,   // admission control shed THIS request; the
+                     // connection stays open and later requests are
+                     // answered normally
+  kStoreFailed = 5,  // the durable store is fail-stop (disk failure):
+                     // THIS write was not persisted and must not be
+                     // treated as applied; the connection stays open
+                     // and reads/scans keep answering
 };
 
 /// Log2 buckets of the point-batch size histogram carried by a Stats
@@ -89,8 +96,8 @@ inline constexpr std::size_t kBatchHistBuckets = 8;
 
 /// u64 words in a Stats response body (after the count byte). A body
 /// whose count differs is malformed — both sides pin the layout.
-/// 11 serving-layer counters + 8 store counters + the batch histogram.
-inline constexpr std::size_t kStatsWords = 19 + kBatchHistBuckets;
+/// 11 serving-layer counters + 11 store counters + the batch histogram.
+inline constexpr std::size_t kStatsWords = 22 + kBatchHistBuckets;
 
 /// Server counters as carried by the Stats opcode. The wire layout is
 /// the fields below in declaration order, each a u64le; `batch_hist`
@@ -119,6 +126,9 @@ struct StatsSnapshot {
   std::uint64_t bloom_negatives = 0;  // cold gets a bloom proved absent
   std::uint64_t cold_hits = 0;        // gets answered from a run
   std::uint64_t recovered_ops = 0;    // WAL entries replayed at startup
+  std::uint64_t store_fail_stop = 0;  // 1 once the store is read-only
+  std::uint64_t corrupt_blocks = 0;   // run-block CRC/read failures
+  std::uint64_t checkpoint_retries = 0;  // failed flush attempts
   std::uint64_t batch_hist[kBatchHistBuckets] = {};
 };
 
@@ -428,6 +438,9 @@ inline void append_stats(std::vector<std::uint8_t>& out,
   put_u64(out, s.bloom_negatives);
   put_u64(out, s.cold_hits);
   put_u64(out, s.recovered_ops);
+  put_u64(out, s.store_fail_stop);
+  put_u64(out, s.corrupt_blocks);
+  put_u64(out, s.checkpoint_retries);
   for (std::size_t i = 0; i < kBatchHistBuckets; ++i) {
     put_u64(out, s.batch_hist[i]);
   }
@@ -557,7 +570,9 @@ inline std::optional<Response> parse_response(
       if (!r.read_u64(s.wal_appends) || !r.read_u64(s.wal_fsyncs) ||
           !r.read_u64(s.wal_group_ops) || !r.read_u64(s.store_flushes) ||
           !r.read_u64(s.store_runs) || !r.read_u64(s.bloom_negatives) ||
-          !r.read_u64(s.cold_hits) || !r.read_u64(s.recovered_ops)) {
+          !r.read_u64(s.cold_hits) || !r.read_u64(s.recovered_ops) ||
+          !r.read_u64(s.store_fail_stop) || !r.read_u64(s.corrupt_blocks) ||
+          !r.read_u64(s.checkpoint_retries)) {
         return std::nullopt;
       }
       for (std::size_t i = 0; i < kBatchHistBuckets; ++i) {

@@ -70,6 +70,10 @@ struct ServerOptions {
   std::string data_dir;
   store::FsyncMode fsync_mode = store::FsyncMode::kGroup;
   std::size_t checkpoint_bytes = 4u << 20;  // per-shard WAL flush bar
+  /// Store syscall seam (store/io.hpp): nullptr = real syscalls;
+  /// tests and leapd's --fault-spec plug a FaultIo. Must outlive the
+  /// Server. Ignored without a data_dir.
+  store::Io* store_io = nullptr;
 };
 
 /// Aggregated server counters; also the Stats opcode's wire payload.

@@ -1,0 +1,357 @@
+// leap::store::Io — the syscall seam under the whole durable tier.
+// Every file operation the store issues (segment/run opens, WAL
+// pwrites, run writes and preads, fdatasync/fsync, preallocation,
+// renames, unlinks, directory fsyncs) goes through this interface, so
+// a test can interpose FaultIo and fail exactly the N-th matching call
+// — deterministic disk-failure injection with zero cost on the real
+// path (one virtual dispatch per syscall, dwarfed by the syscall).
+//
+// Fault model (FaultIo): a FaultSpec names a call class (FaultPoint),
+// a 1-based call index `nth`, a failure kind, and whether the fault is
+// sticky (every matching call from the nth on fails — a dead disk) or
+// one-shot (a transient error). Kinds:
+//
+//   enospc      the call fails with ENOSPC
+//   eio         the call fails with EIO
+//   shortwrite  HALF the bytes reach the file, then the call fails
+//               with EIO — a torn write, the crash-adjacent case
+//   syncfail    fdatasync/fsync fails with EIO; per fsyncgate, the
+//               caller must treat the unsynced bytes as lost — dirty
+//               pages may have been dropped — and NEVER retry the sync
+//   bitflip     the write succeeds but one bit of the written bytes is
+//               flipped on disk — silent media corruption, caught (or
+//               not) by the reader's CRCs
+//
+// FaultPoint::kAny matches open/pread/pwrite/write/fdatasync/fsync/
+// fallocate. ftruncate, unlink, rename, mkdir, and close are NEVER
+// matched: they are the store's quarantine/cleanup actions, and
+// failing them would make call counting depend on the failure path
+// under test. Specs parse from "point:nth:kind[:sticky]" (leapd's
+// --fault-spec, e.g. "write:10:enospc:sticky").
+#pragma once
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <optional>
+#include <string>
+
+namespace leap::store {
+
+/// The syscall surface the store runs on. Return conventions mirror
+/// the POSIX calls (errno is set on failure). Implementations need no
+/// EINTR handling — callers loop.
+class Io {
+ public:
+  virtual ~Io() = default;
+  virtual int open(const char* path, int flags, mode_t mode) = 0;
+  virtual int close(int fd) = 0;
+  virtual ssize_t pread(int fd, void* buf, std::size_t n, off_t off) = 0;
+  virtual ssize_t pwrite(int fd, const void* buf, std::size_t n,
+                         off_t off) = 0;
+  virtual ssize_t write(int fd, const void* buf, std::size_t n) = 0;
+  virtual int fdatasync(int fd) = 0;
+  virtual int fsync(int fd) = 0;
+  /// Preallocate [0, len) (::fallocate mode 0).
+  virtual int fallocate(int fd, off_t len) = 0;
+  virtual int ftruncate(int fd, off_t len) = 0;
+  virtual int unlink(const char* path) = 0;
+  virtual int rename(const char* from, const char* to) = 0;
+  virtual int mkdir(const char* path, mode_t mode) = 0;
+};
+
+/// Pass-through to the real syscalls.
+class RealIo final : public Io {
+ public:
+  int open(const char* path, int flags, mode_t mode) override {
+    return ::open(path, flags, mode);
+  }
+  int close(int fd) override { return ::close(fd); }
+  ssize_t pread(int fd, void* buf, std::size_t n, off_t off) override {
+    return ::pread(fd, buf, n, off);
+  }
+  ssize_t pwrite(int fd, const void* buf, std::size_t n,
+                 off_t off) override {
+    return ::pwrite(fd, buf, n, off);
+  }
+  ssize_t write(int fd, const void* buf, std::size_t n) override {
+    return ::write(fd, buf, n);
+  }
+  int fdatasync(int fd) override { return ::fdatasync(fd); }
+  int fsync(int fd) override { return ::fsync(fd); }
+  int fallocate(int fd, off_t len) override {
+    return ::fallocate(fd, 0, 0, len);
+  }
+  int ftruncate(int fd, off_t len) override { return ::ftruncate(fd, len); }
+  int unlink(const char* path) override { return ::unlink(path); }
+  int rename(const char* from, const char* to) override {
+    return ::rename(from, to);
+  }
+  int mkdir(const char* path, mode_t mode) override {
+    return ::mkdir(path, mode);
+  }
+};
+
+/// The shared real-syscall instance (stateless; safe from any thread).
+inline Io& real_io() {
+  static RealIo io;
+  return io;
+}
+
+enum class FaultKind : std::uint8_t {
+  kEnospc,
+  kEio,
+  kShortWrite,  // write points only
+  kSyncFail,    // sync points only
+  kBitFlip,     // write points only
+};
+
+enum class FaultPoint : std::uint8_t {
+  kAny,        // open/pread/pwrite/write/fdatasync/fsync/fallocate
+  kOpen,
+  kRead,       // pread
+  kWrite,      // pwrite + write
+  kSync,       // fdatasync + fsync
+  kFallocate,
+};
+
+struct FaultSpec {
+  FaultPoint point = FaultPoint::kAny;
+  std::uint64_t nth = 1;  // 1-based index of the matching call that fails
+  FaultKind kind = FaultKind::kEio;
+  bool sticky = false;  // keep failing every match from the nth on
+};
+
+/// Parse "point:nth:kind[:sticky]" (e.g. "write:10:enospc:sticky",
+/// "sync:1:syncfail"). nullopt on any malformation, including a kind
+/// that cannot apply at the named point (shortwrite/bitflip demand
+/// point=write, syncfail demands point=sync).
+inline std::optional<FaultSpec> parse_fault_spec(const std::string& text) {
+  FaultSpec spec;
+  char point[16] = {};
+  char kind[16] = {};
+  char sticky[8] = {};
+  unsigned long long nth = 0;
+  const int got = std::sscanf(text.c_str(), "%15[a-z]:%llu:%15[a-z]:%7[a-z]",
+                              point, &nth, kind, sticky);
+  if (got < 3 || nth == 0) return std::nullopt;
+  const std::string p = point;
+  if (p == "any") {
+    spec.point = FaultPoint::kAny;
+  } else if (p == "open") {
+    spec.point = FaultPoint::kOpen;
+  } else if (p == "read") {
+    spec.point = FaultPoint::kRead;
+  } else if (p == "write") {
+    spec.point = FaultPoint::kWrite;
+  } else if (p == "sync") {
+    spec.point = FaultPoint::kSync;
+  } else if (p == "fallocate") {
+    spec.point = FaultPoint::kFallocate;
+  } else {
+    return std::nullopt;
+  }
+  spec.nth = nth;
+  const std::string k = kind;
+  if (k == "enospc") {
+    spec.kind = FaultKind::kEnospc;
+  } else if (k == "eio") {
+    spec.kind = FaultKind::kEio;
+  } else if (k == "shortwrite") {
+    spec.kind = FaultKind::kShortWrite;
+  } else if (k == "syncfail") {
+    spec.kind = FaultKind::kSyncFail;
+  } else if (k == "bitflip") {
+    spec.kind = FaultKind::kBitFlip;
+  } else {
+    return std::nullopt;
+  }
+  if (got == 4) {
+    if (std::string(sticky) != "sticky") return std::nullopt;
+    spec.sticky = true;
+  }
+  // Kind/point compatibility: a spec that could never fire (or would
+  // fire ambiguously at unrelated call classes) is rejected outright.
+  if ((spec.kind == FaultKind::kShortWrite ||
+       spec.kind == FaultKind::kBitFlip) &&
+      spec.point != FaultPoint::kWrite) {
+    return std::nullopt;
+  }
+  if (spec.kind == FaultKind::kSyncFail && spec.point != FaultPoint::kSync) {
+    return std::nullopt;
+  }
+  return spec;
+}
+
+/// Deterministic fault injector over another Io. Counts calls matching
+/// the armed spec's point; the nth match fails per the spec's kind
+/// (every match from the nth on when sticky). Unarmed (or with
+/// nth = UINT64_MAX) it is a pure counter — tests dry-run a workload
+/// to learn N, then re-run it once per k in 1..N.
+class FaultIo final : public Io {
+ public:
+  explicit FaultIo(Io& base) : base_(base) {}
+  FaultIo(Io& base, const FaultSpec& spec) : base_(base) { arm(spec); }
+
+  /// (Re)arm: resets the match counter, so `nth` is relative to now.
+  void arm(const FaultSpec& spec) {
+    std::lock_guard<std::mutex> lk(mu_);
+    spec_ = spec;
+    armed_ = true;
+    matched_ = 0;
+  }
+
+  void disarm() {
+    std::lock_guard<std::mutex> lk(mu_);
+    armed_ = false;
+  }
+
+  /// Faults actually delivered so far.
+  std::uint64_t faults_injected() const {
+    return injected_.load(std::memory_order_relaxed);
+  }
+
+  /// Calls that matched the armed point since the last arm() — the dry
+  /// run's N.
+  std::uint64_t matched_calls() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return matched_;
+  }
+
+  int open(const char* path, int flags, mode_t mode) override {
+    if (should_fail(FaultPoint::kOpen)) {
+      errno = fail_errno();
+      return -1;
+    }
+    return base_.open(path, flags, mode);
+  }
+
+  ssize_t pread(int fd, void* buf, std::size_t n, off_t off) override {
+    if (should_fail(FaultPoint::kRead)) {
+      errno = fail_errno();
+      return -1;
+    }
+    return base_.pread(fd, buf, n, off);
+  }
+
+  ssize_t pwrite(int fd, const void* buf, std::size_t n,
+                 off_t off) override {
+    if (!should_fail(FaultPoint::kWrite)) return base_.pwrite(fd, buf, n, off);
+    return faulty_write(fd, buf, n, off, /*positioned=*/true);
+  }
+
+  ssize_t write(int fd, const void* buf, std::size_t n) override {
+    if (!should_fail(FaultPoint::kWrite)) return base_.write(fd, buf, n);
+    return faulty_write(fd, buf, n, 0, /*positioned=*/false);
+  }
+
+  int fdatasync(int fd) override {
+    if (should_fail(FaultPoint::kSync)) {
+      errno = fail_errno();
+      return -1;
+    }
+    return base_.fdatasync(fd);
+  }
+
+  int fsync(int fd) override {
+    if (should_fail(FaultPoint::kSync)) {
+      errno = fail_errno();
+      return -1;
+    }
+    return base_.fsync(fd);
+  }
+
+  int fallocate(int fd, off_t len) override {
+    if (should_fail(FaultPoint::kFallocate)) {
+      errno = fail_errno();
+      return -1;
+    }
+    return base_.fallocate(fd, len);
+  }
+
+  // Quarantine/cleanup calls are never faulted (see the header note).
+  int close(int fd) override { return base_.close(fd); }
+  int ftruncate(int fd, off_t len) override {
+    return base_.ftruncate(fd, len);
+  }
+  int unlink(const char* path) override { return base_.unlink(path); }
+  int rename(const char* from, const char* to) override {
+    return base_.rename(from, to);
+  }
+  int mkdir(const char* path, mode_t mode) override {
+    return base_.mkdir(path, mode);
+  }
+
+ private:
+  bool should_fail(FaultPoint point) {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!armed_) return false;
+    if (spec_.point != FaultPoint::kAny && spec_.point != point) return false;
+    ++matched_;
+    const bool fire =
+        spec_.sticky ? matched_ >= spec_.nth : matched_ == spec_.nth;
+    if (fire) injected_.fetch_add(1, std::memory_order_relaxed);
+    return fire;
+  }
+
+  int fail_errno() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return spec_.kind == FaultKind::kEnospc ? ENOSPC : EIO;
+  }
+
+  ssize_t faulty_write(int fd, const void* buf, std::size_t n, off_t off,
+                       bool positioned) {
+    FaultKind kind;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      kind = spec_.kind;
+    }
+    const std::uint8_t* bytes = static_cast<const std::uint8_t*>(buf);
+    switch (kind) {
+      case FaultKind::kShortWrite: {
+        // Half the bytes land, then the call errors: a torn write.
+        const std::size_t half = n / 2;
+        if (half > 0) {
+          if (positioned) {
+            (void)base_.pwrite(fd, bytes, half, off);
+          } else {
+            (void)base_.write(fd, bytes, half);
+          }
+        }
+        errno = EIO;
+        return -1;
+      }
+      case FaultKind::kBitFlip: {
+        // The write "succeeds" but one bit of it lies on disk.
+        if (!positioned) off = ::lseek(fd, 0, SEEK_CUR);
+        const ssize_t r = positioned ? base_.pwrite(fd, bytes, n, off)
+                                     : base_.write(fd, bytes, n);
+        if (r == static_cast<ssize_t>(n) && n > 0 && off >= 0) {
+          const std::uint8_t flipped = bytes[n / 2] ^ 0x40;
+          (void)base_.pwrite(fd, &flipped, 1,
+                             off + static_cast<off_t>(n / 2));
+        }
+        return r;
+      }
+      default:
+        errno = kind == FaultKind::kEnospc ? ENOSPC : EIO;
+        return -1;
+    }
+  }
+
+  Io& base_;
+  mutable std::mutex mu_;
+  bool armed_ = false;
+  FaultSpec spec_{};
+  std::uint64_t matched_ = 0;
+  std::atomic<std::uint64_t> injected_{0};
+};
+
+}  // namespace leap::store

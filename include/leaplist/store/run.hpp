@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "leaplist/store/format.hpp"
+#include "leaplist/store/io.hpp"
 
 namespace leap::store {
 
@@ -47,10 +48,12 @@ class Run {
   Run(const Run&) = delete;
   Run& operator=(const Run&) = delete;
 
-  /// Open + validate `path`. Returns nullptr (with *err set) if the
-  /// file is unreadable or fails footer/CRC validation — the caller
-  /// treats that as a dead partial flush and deletes the file.
-  static std::shared_ptr<Run> load(const std::string& path,
+  /// Open + validate `path` through `io` (which must outlive the
+  /// Run; block preads go through it too). Returns nullptr (with
+  /// *err set) if the file is unreadable or fails footer/CRC
+  /// validation — the caller treats that as a dead partial flush and
+  /// deletes the file.
+  static std::shared_ptr<Run> load(Io& io, const std::string& path,
                                    std::uint64_t seq, std::string* err);
 
   /// Point lookup. nullopt = key provably absent from this run.
@@ -91,6 +94,7 @@ class Run {
   /// Read + verify block `idx`, decode its entries into `out`.
   bool read_block(std::size_t idx, std::vector<Entry>& out) const;
 
+  Io* io_ = nullptr;
   int fd_ = -1;
   std::uint64_t seq_ = 0;
   std::uint64_t entry_count_ = 0;
@@ -106,7 +110,7 @@ class Run {
 class RunWriter {
  public:
   /// `expected` sizes the bloom filter (entry count upper bound).
-  RunWriter(std::string path, std::size_t expected);
+  RunWriter(Io& io, std::string path, std::size_t expected);
 
   void add(const Entry& e);
 
@@ -118,6 +122,7 @@ class RunWriter {
  private:
   void seal_block();
 
+  Io* io_;
   std::string path_;
   int fd_ = -1;
   bool io_error_ = false;

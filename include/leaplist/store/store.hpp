@@ -26,6 +26,22 @@
 // final record in each, and start a fresh segment. Replayed shards
 // are checkpointed by the background flusher on its first pass so
 // repeated crashes cannot grow replay time without bound.
+//
+// Failure semantics (every syscall goes through store::Io — io.hpp):
+// a WAL write or fdatasync failure is FAIL-STOP. The store flips to
+// read-only (fail_stop() / StoreStats::fail_stop), log_batch returns
+// false for every subsequent mutation without applying it, and reads,
+// scans, and close() keep working off what is already durable. The
+// failed bytes are quarantined (truncated off the segment) and never
+// re-buffered, and fdatasync is never retried after one failure —
+// the kernel may have dropped the dirty pages it covered, so a retry
+// that "succeeds" proves nothing (fsyncgate). A checkpoint failure is
+// NOT fail-stop: the WAL still holds everything, so the partial run
+// file is deleted, the failure is counted (checkpoint_retries), and
+// the flusher retries on its next pass. A run block whose CRC fails
+// mid-life is a counted read error (corrupt_blocks), degrading that
+// run to "absent here", never a silent wrong answer. A restart on a
+// healthy Io recovers everything acked.
 #pragma once
 
 #include <atomic>
@@ -40,6 +56,7 @@
 #include <vector>
 
 #include "leaplist/sharded.hpp"
+#include "leaplist/store/io.hpp"
 
 namespace leap::store {
 
@@ -64,6 +81,9 @@ struct StoreOptions {
   /// each shard's buffered WAL bytes to the fd — in kOff mode that is
   /// the only thing writing them out between checkpoints.
   std::size_t flush_poll_ms = 50;
+  /// Syscall seam (io.hpp). nullptr = the real syscalls; tests and
+  /// leapd's --fault-spec plug a FaultIo here. Must outlive the Store.
+  Io* io = nullptr;
 };
 
 /// One client mutation for log_batch (gets never log).
@@ -83,6 +103,9 @@ struct StoreStats {
   std::uint64_t bloom_negatives = 0;  // cold gets a bloom proved absent
   std::uint64_t cold_hits = 0;        // gets answered from a run
   std::uint64_t recovered_ops = 0;    // WAL entries replayed at open()
+  std::uint64_t fail_stop = 0;         // 1 once the store is read-only
+  std::uint64_t corrupt_blocks = 0;    // run-block CRC/read failures
+  std::uint64_t checkpoint_retries = 0;  // failed flush attempts
 };
 
 class Store {
@@ -106,10 +129,28 @@ class Store {
 
   /// Durably log `n` mutations and apply them to the memtable via
   /// `apply` (an STM txn closure), atomically per shard with respect
-  /// to log order. Returns once the batch is durable per FsyncMode.
-  /// With n == 0 just runs `apply`.
-  void log_batch(const LogOp* ops, std::size_t n,
-                 const std::function<void()>& apply);
+  /// to log order. Returns true once the batch is durable per
+  /// FsyncMode. Returns false — and the caller must answer the client
+  /// with an error, never an ack — when the store is (or just went)
+  /// fail-stop: either the batch was rejected before `apply` ran, or
+  /// its own WAL write/sync failed. In the latter case the mutations
+  /// ARE in the memtable (briefly visible, like any pre-durability
+  /// window) but are quarantined off the log, so a restart forgets
+  /// them — exactly the contract for an un-acked write. A multi-shard
+  /// batch that fails may still have logged its spans on healthy
+  /// shards; those single-shard records replay after restart (the
+  /// per-shard atomicity contract, unchanged). With n == 0 just runs
+  /// `apply` and returns true (reads never fail-stop).
+  [[nodiscard]] bool log_batch(const LogOp* ops, std::size_t n,
+                               const std::function<void()>& apply);
+
+  /// True once the store has entered read-only fail-stop.
+  bool fail_stop() const {
+    return fail_stop_.load(std::memory_order_acquire);
+  }
+
+  /// Human-readable cause of the first I/O failure ("" if none).
+  std::string last_error() const;
 
   /// Cold point lookup for a key the memtable missed: tombstones, then
   /// newest-to-oldest runs (fence + bloom gated). A run hit re-checks
@@ -146,11 +187,17 @@ class Store {
   bool recover_shard(std::size_t s, std::string* err);
   bool flush_shard(std::size_t s);
   void flusher_main();
-  void wait_durable(
+  [[nodiscard]] bool wait_durable(
       const std::vector<std::pair<std::size_t, std::uint64_t>>& targets);
+  /// Flip to read-only fail-stop, recording `why` as last_error() if
+  /// this call won the transition. Call with the failing shard's
+  /// fsync mutex held (or the store quiesced).
+  void enter_fail_stop(const std::string& why);
+  void set_last_error(const std::string& why);
 
   MapType& map_;
   StoreOptions opts_;
+  Io* io_;
   std::vector<std::unique_ptr<ShardState>> shards_;
   bool open_ = false;
 
@@ -170,6 +217,11 @@ class Store {
   std::atomic<std::uint64_t> bloom_negatives_{0};
   std::atomic<std::uint64_t> cold_hits_{0};
   std::atomic<std::uint64_t> recovered_ops_{0};
+  std::atomic<std::uint64_t> corrupt_blocks_{0};
+  std::atomic<std::uint64_t> checkpoint_retries_{0};
+  std::atomic<bool> fail_stop_{false};
+  mutable std::mutex err_mu_;
+  std::string last_error_;  // under err_mu_
 };
 
 }  // namespace leap::store

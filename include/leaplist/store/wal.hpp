@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "leaplist/store/format.hpp"
+#include "leaplist/store/io.hpp"
 
 namespace leap::store {
 
@@ -51,10 +52,13 @@ class Wal {
   Wal& operator=(const Wal&) = delete;
 
   /// Create and open segment file `path` (fresh, preallocated to
-  /// `prealloc` bytes when the filesystem supports it). `seq` is the
-  /// segment's sequence number, `logical_base` the shard's logical
-  /// byte count so far. Returns false (with *err set) on I/O failure.
-  bool open_fresh(const std::string& path, std::uint64_t seq,
+  /// `prealloc` bytes when the filesystem supports it) through `io`,
+  /// which must outlive the Wal. `seq` is the segment's sequence
+  /// number, `logical_base` the shard's logical byte count so far.
+  /// Returns false (with *err set) on I/O failure — including ENOSPC
+  /// from the preallocation, which is a hard error (an unprovisioned
+  /// segment would hit the same wall mid-commit instead).
+  bool open_fresh(Io& io, const std::string& path, std::uint64_t seq,
                   std::uint64_t logical_base, std::uint64_t prealloc,
                   std::string* err);
 
@@ -65,15 +69,24 @@ class Wal {
   std::uint64_t append(const std::uint8_t* data, std::size_t size);
 
   /// Write any buffered bytes to the fd (no fsync). Caller holds the
-  /// fsync mutex. False on write failure (the segment goes unhealthy
-  /// and durable() is released to appended() so waiters never hang on
-  /// bytes that can no longer reach the disk).
+  /// fsync mutex. False on write failure: the segment goes unhealthy
+  /// and the on-disk tail is truncated back to the last fully-written
+  /// offset, so a partial write can never replay as garbage — and the
+  /// un-flushed bytes are dropped, never re-buffered (their batches
+  /// were never acked). durable() is NOT advanced.
   bool flush_buffered();
 
   /// flush_buffered() + fdatasync, then advance durable() to every
   /// byte the flush covered (everything appended before the call —
-  /// the group-commit step). Caller holds the fsync mutex.
-  bool sync_flush();
+  /// the group-commit step). Caller holds the fsync mutex. On sync
+  /// failure the segment goes unhealthy and fdatasync is NEVER
+  /// retried (the kernel may already have dropped the dirty pages —
+  /// fsyncgate); with `quarantine_unsynced`, the on-disk content is
+  /// truncated back to durable() so bytes whose sync failed (and
+  /// whose batches were therefore never acked) cannot resurface at
+  /// replay. Pass false in kOff mode, where un-synced bytes WERE
+  /// acked and keeping them is strictly better.
+  bool sync_flush(bool quarantine_unsynced);
 
   /// Close the fd (rotation retires this segment after a final sync).
   void close_fd();
@@ -90,10 +103,21 @@ class Wal {
   }
   std::uint64_t seq() const { return seq_; }
   const std::string& path() const { return path_; }
-  bool healthy() const { return fd_ >= 0 && !io_error_; }
+  /// io_error_ is atomic so the commit path (append, under the commit
+  /// mutex) can observe a failure recorded by a flush-side holder of
+  /// the fsync mutex without a data race.
+  bool healthy() const {
+    return fd_ >= 0 && !io_error_.load(std::memory_order_acquire);
+  }
+  /// errno captured at the first I/O failure (fsync-mutex holders).
+  int last_errno() const { return err_no_; }
 
-  /// Mark everything appended so far durable (rotation's final sync,
-  /// or an unhealthy segment releasing its waiters).
+  /// Mark everything appended so far durable. ONLY legitimate after a
+  /// successful sync that provably covered every appended byte (e.g.
+  /// rotation's final sync runs under both the commit and fsync
+  /// mutexes, so nothing can append concurrently). Never call this on
+  /// an unhealthy segment — durable() must stay truthful, it is what
+  /// group-commit followers ack against.
   void mark_all_durable() {
     durable_.store(appended_.load(std::memory_order_acquire),
                    std::memory_order_release);
@@ -112,8 +136,10 @@ class Wal {
   bool truncate_tail_for_test(std::uint64_t bytes);
 
  private:
+  Io* io_ = nullptr;
   int fd_ = -1;
-  bool io_error_ = false;
+  std::atomic<bool> io_error_{false};
+  int err_no_ = 0;  // under the fsync mutex
   std::uint64_t seq_ = 0;
   std::uint64_t logical_base_ = 0;
   std::uint64_t write_off_ = 0;  // bytes written to THIS fd (fsync mu)
@@ -133,7 +159,7 @@ class Wal {
 /// tail. Returns false only on a hard I/O error opening/reading the
 /// file (a torn or empty file is a normal true return; *torn reports
 /// whether a corrupt tail was dropped).
-bool replay_wal_file(const std::string& path, std::vector<Entry>& ops,
-                     bool* torn, std::string* err);
+bool replay_wal_file(Io& io, const std::string& path,
+                     std::vector<Entry>& ops, bool* torn, std::string* err);
 
 }  // namespace leap::store

@@ -14,7 +14,13 @@
 #      key range (every put acknowledged), kill -9 the server, restart
 #      it on the same directory, and verify every key reads back its
 #      oracle value from the fresh process — recovery proven over the
-#      real wire, not in-process.
+#      real wire, not in-process;
+#   4. fault injection: start leapd with --fault-spec so the store's
+#      WAL hits a sticky ENOSPC mid-write — the server must go
+#      read-only fail-stop (writes shed with kStoreFailed, observed by
+#      the loadgen's storefailed counter and the Stats opcode's
+#      fail_stop field) while gets keep answering, and still shut
+#      down cleanly.
 #
 #   scripts/net_smoke.sh [build-dir]      (default: ./build)
 #
@@ -29,6 +35,7 @@ ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="${1:-"$ROOT/build"}"
 LOG="$(mktemp)"
 DATADIR=""
+DATADIR2=""
 SERVER_PID=""
 
 cleanup() {
@@ -37,6 +44,7 @@ cleanup() {
   fi
   rm -f "$LOG"
   [[ -n "$DATADIR" ]] && rm -rf "$DATADIR"
+  [[ -n "$DATADIR2" ]] && rm -rf "$DATADIR2"
 }
 trap cleanup EXIT
 
@@ -182,5 +190,56 @@ run_phase "persist-verify" "$BUILD/leap-loadgen" --port "$PORT" \
   --verifyrange "0:$NKEYS"
 stop_leapd
 
+# --- phase 4: injected ENOSPC → read-only fail-stop, writes shed ------
+# A sticky ENOSPC on the 2nd store write makes the WAL flush fail
+# mid-range (deep pipelining batches the whole range into a handful of
+# group-commit flushes, so the fault index must be small): the server
+# must shed every later put with kStoreFailed
+# (never ack a non-durable write), keep serving reads, report
+# fail_stop=1 through the Stats opcode, and still shut down cleanly.
+DATADIR2="$(mktemp -d)"
+start_leapd --data-dir "$DATADIR2" --fsync-mode group --stats-interval 0 \
+  --fault-spec "write:2:enospc:sticky"
+FAULT_STATUS=0
+FAULT_OUT="$(timeout "$PHASE_TIMEOUT" "$BUILD/leap-loadgen" --port "$PORT" \
+  --putrange 0:600 --tolerate-storefail)" || FAULT_STATUS=$?
+echo "$FAULT_OUT"
+if [[ "$FAULT_STATUS" -ne 0 ]]; then
+  echo "net_smoke: phase 'fault-put' failed (exit $FAULT_STATUS)" >&2
+  echo "net_smoke: last 40 leapd log lines:" >&2
+  tail -n 40 "$LOG" >&2
+  exit 1
+fi
+STOREFAILED="$(printf '%s\n' "$FAULT_OUT" | \
+  sed -n 's/^leap-loadgen: putrange .*storefailed=\([0-9]*\).*/\1/p' | \
+  head -n1)"
+if [[ -z "$STOREFAILED" || "$STOREFAILED" -eq 0 ]]; then
+  echo "net_smoke: injected ENOSPC shed no writes" \
+       "(storefailed='$STOREFAILED')" >&2
+  tail -n 40 "$LOG" >&2
+  exit 1
+fi
+# Reads must still be served by the fail-stopped server, and its Stats
+# opcode must report the fail-stop (via the loadgen's stats probe).
+FAULT_GET_STATUS=0
+FAULT_GET_OUT="$(timeout "$PHASE_TIMEOUT" "$BUILD/leap-loadgen" \
+  --port "$PORT" --threads 1 --pipeline 4 --preload 0 \
+  --mix 100:0:0:0:0)" || FAULT_GET_STATUS=$?
+echo "$FAULT_GET_OUT"
+if [[ "$FAULT_GET_STATUS" -ne 0 ]]; then
+  echo "net_smoke: phase 'fault-get' failed (exit $FAULT_GET_STATUS)" >&2
+  echo "net_smoke: last 40 leapd log lines:" >&2
+  tail -n 40 "$LOG" >&2
+  exit 1
+fi
+if ! printf '%s\n' "$FAULT_GET_OUT" | \
+     grep -q '^leap-loadgen: server stats .*fail_stop=[1-9]'; then
+  echo "net_smoke: fail-stopped server did not report fail_stop>0" >&2
+  tail -n 40 "$LOG" >&2
+  exit 1
+fi
+stop_leapd
+
 echo "net_smoke: ok ($SERVED ops served phase 1, $SHED shed phase 2," \
-     "$NKEYS keys survived kill -9 phase 3)"
+     "$NKEYS keys survived kill -9 phase 3," \
+     "$STOREFAILED writes shed under ENOSPC phase 4)"

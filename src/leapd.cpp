@@ -5,12 +5,19 @@
 //         [--max-queue N] [--max-global N] [--accept-pause N]
 //         [--accept-backoff-ms N] [--stats-interval SECS]
 //         [--data-dir PATH] [--fsync-mode always|group|off]
-//         [--checkpoint-bytes N]
+//         [--checkpoint-bytes N] [--fault-spec point:nth:kind[:sticky]]
 //
 // Flags are parsed strictly: an unknown flag, a missing value, or a
 // non-numeric value for a numeric flag prints usage to stderr and
 // exits 2 — a typo'd --fsink-mode must never silently run a
 // misconfigured server.
+//
+// --fault-spec routes the store's syscalls through a FaultIo
+// (leaplist/store/io.hpp) armed with the given spec — the smoke
+// harness uses it to prove the fail-stop path end to end (e.g.
+// "write:10:enospc:sticky" makes every WAL write from the 10th on
+// fail ENOSPC; writes then answer Err::kStoreFailed while reads keep
+// serving). It requires --data-dir.
 //
 // Admission control defaults ON here (the library's ServerOptions
 // defaults are OFF so embedded/test servers are unaffected); pass 0 to
@@ -31,6 +38,7 @@
 // a second line accompanies each:
 //   leapd: store stats wal_appends=... wal_fsyncs=... group_ops=...
 //   flushes=... runs=... bloom_neg=... cold_hits=... recovered=...
+//   fail_stop=... corrupt=... ckpt_retries=...
 #include <signal.h>
 #include <time.h>
 
@@ -38,9 +46,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
+#include <optional>
 #include <string>
 
 #include "leaplist/net/server.hpp"
+#include "leaplist/store/io.hpp"
 
 namespace {
 
@@ -52,7 +63,8 @@ void usage(const char* argv0) {
       "          [--max-queue N] [--max-global N] [--accept-pause N]\n"
       "          [--accept-backoff-ms N] [--stats-interval SECS]\n"
       "          [--data-dir PATH] [--fsync-mode always|group|off]\n"
-      "          [--checkpoint-bytes N]\n",
+      "          [--checkpoint-bytes N]\n"
+      "          [--fault-spec point:nth:kind[:sticky]]\n",
       argv0);
 }
 
@@ -123,7 +135,8 @@ void print_stats_line(const leap::net::ServerStats& s, bool store_on) {
     std::printf(
         "leapd: store stats wal_appends=%llu wal_fsyncs=%llu "
         "group_ops=%llu flushes=%llu runs=%llu bloom_neg=%llu "
-        "cold_hits=%llu recovered=%llu\n",
+        "cold_hits=%llu recovered=%llu fail_stop=%llu corrupt=%llu "
+        "ckpt_retries=%llu\n",
         static_cast<unsigned long long>(s.wal_appends),
         static_cast<unsigned long long>(s.wal_fsyncs),
         static_cast<unsigned long long>(s.wal_group_ops),
@@ -131,7 +144,10 @@ void print_stats_line(const leap::net::ServerStats& s, bool store_on) {
         static_cast<unsigned long long>(s.store_runs),
         static_cast<unsigned long long>(s.bloom_negatives),
         static_cast<unsigned long long>(s.cold_hits),
-        static_cast<unsigned long long>(s.recovered_ops));
+        static_cast<unsigned long long>(s.recovered_ops),
+        static_cast<unsigned long long>(s.store_fail_stop),
+        static_cast<unsigned long long>(s.corrupt_blocks),
+        static_cast<unsigned long long>(s.checkpoint_retries));
   }
   std::fflush(stdout);
 }
@@ -146,7 +162,7 @@ int main(int argc, char** argv) {
   long long max_queue = 1024, max_global = 8192, accept_pause = 16384;
   long long accept_backoff_ms = 100, stats_interval = 10;
   long long checkpoint_bytes = 4 << 20;
-  std::string data_dir, fsync_mode_text = "group";
+  std::string data_dir, fsync_mode_text = "group", fault_spec_text;
 
   Args args{argc, argv};
   while (!args.done()) {
@@ -161,7 +177,8 @@ int main(int argc, char** argv) {
         args.num("--stats-interval", &stats_interval) ||
         args.num("--checkpoint-bytes", &checkpoint_bytes) ||
         args.str("--data-dir", &data_dir) ||
-        args.str("--fsync-mode", &fsync_mode_text)) {
+        args.str("--fsync-mode", &fsync_mode_text) ||
+        args.str("--fault-spec", &fault_spec_text)) {
       continue;
     }
     args.fail("unknown flag");
@@ -171,6 +188,20 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "leapd: bad --fsync-mode '%s' (always|group|off)\n",
                  fsync_mode_text.c_str());
     args.ok = false;
+  }
+  std::optional<leap::store::FaultSpec> fault_spec;
+  if (!fault_spec_text.empty()) {
+    fault_spec = leap::store::parse_fault_spec(fault_spec_text);
+    if (!fault_spec) {
+      std::fprintf(stderr,
+                   "leapd: bad --fault-spec '%s' "
+                   "(point:nth:kind[:sticky])\n",
+                   fault_spec_text.c_str());
+      args.ok = false;
+    } else if (data_dir.empty()) {
+      std::fprintf(stderr, "leapd: --fault-spec requires --data-dir\n");
+      args.ok = false;
+    }
   }
   if (!args.ok) {
     usage(argv[0]);
@@ -192,6 +223,17 @@ int main(int argc, char** argv) {
   opts.data_dir = data_dir;
   opts.fsync_mode = *fsync_mode;
   opts.checkpoint_bytes = static_cast<std::size_t>(checkpoint_bytes);
+  // Declared before `server` below so it strictly outlives the Server
+  // (ServerOptions::store_io is a borrowed pointer).
+  std::unique_ptr<leap::store::FaultIo> fault_io;
+  if (fault_spec) {
+    fault_io = std::make_unique<leap::store::FaultIo>(
+        leap::store::real_io());
+    fault_io->arm(*fault_spec);
+    opts.store_io = fault_io.get();
+    std::printf("leapd: fault injection armed: %s\n",
+                fault_spec_text.c_str());
+  }
   const bool store_on = !data_dir.empty();
 
   // Block the shutdown signals before spawning workers (they inherit

@@ -536,12 +536,16 @@ struct Server::Worker {
   /// only once they are durable per --fsync-mode — response frames are
   /// built after, so an acked write is a durable write. Pure-read
   /// batches and the in-memory configuration skip the store entirely.
+  /// False = the store refused or failed to make the batch durable
+  /// (fail-stop); the caller must answer every mutation in the batch
+  /// Err::kStoreFailed, never Ok — whatever `apply` did to the
+  /// memtable is quarantined off the log and a restart forgets it.
   template <typename Ops, typename Fn>
-  void durable_apply(const Ops& ops, Fn&& apply) {
+  [[nodiscard]] bool durable_apply(const Ops& ops, Fn&& apply) {
     store::Store* st = server.store_.get();
     if (st == nullptr) {
       apply();
-      return;
+      return true;
     }
     log_ops.clear();
     for (const auto& op : ops) {
@@ -551,7 +555,7 @@ struct Server::Worker {
         log_ops.push_back({true, op.key, 0});
       }
     }
-    st->log_batch(log_ops.data(), log_ops.size(), apply);
+    return st->log_batch(log_ops.data(), log_ops.size(), apply);
   }
 
   /// After a commit with the store enabled, answer memtable misses
@@ -603,8 +607,40 @@ struct Server::Worker {
         }
       });
     };
-    durable_apply(batch, apply);
+    const bool durable = durable_apply(batch, apply);
     charge_retries(aborts_before);
+    if (!durable) {
+      // The store is fail-stop: every mutation in the burst answers
+      // Err::kStoreFailed in its FIFO slot (it was never durably
+      // logged, so it must never look acked), but the gets still
+      // deserve answers — re-read them in a read-only txn so they
+      // reflect the current (read-only-from-here) map state.
+      leap::txn([&](stm::Tx& tx) {
+        results.clear();
+        for (const Request& req : batch) {
+          TxnResult r;
+          if (req.op == Op::kGet) {
+            const auto hit = map.get_in(tx, req.key);
+            r.flag = hit.has_value() ? 1 : 0;
+            r.value = hit.value_or(0);
+          }
+          results.push_back(r);
+        }
+      });
+      patch_cold_gets(batch);
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        if (batch[i].op == Op::kGet) {
+          if (results[i].flag) {
+            append_found(out, results[i].value);
+          } else {
+            append_miss(out);
+          }
+        } else {
+          append_error(out, Err::kStoreFailed);
+        }
+      }
+      return;
+    }
     patch_cold_gets(batch);
     for (std::size_t i = 0; i < batch.size(); ++i) {
       switch (batch[i].op) {
@@ -650,8 +686,16 @@ struct Server::Worker {
         }
       });
     };
-    durable_apply(req.txn, apply);
+    const bool durable = durable_apply(req.txn, apply);
     charge_retries(aborts_before);
+    if (!durable) {
+      // A transaction is all-or-nothing on the wire too: its writes
+      // were never durably logged, so the whole txn answers one
+      // Err::kStoreFailed frame. (Pure-read txns log zero ops and
+      // never take this path.)
+      append_error(out, Err::kStoreFailed);
+      return;
+    }
     patch_cold_gets(req.txn);
     append_txn_done(out, req.txn, results);
   }
@@ -775,6 +819,7 @@ bool Server::start(std::string* error) {
     sopts.data_dir = opts_.data_dir;
     sopts.fsync_mode = opts_.fsync_mode;
     sopts.checkpoint_bytes = opts_.checkpoint_bytes;
+    sopts.io = opts_.store_io;
     store_ = std::make_unique<store::Store>(map_, sopts);
     if (!store_->open(error)) {
       store_.reset();
@@ -911,6 +956,9 @@ ServerStats Server::stats() const {
   s.bloom_negatives = st.bloom_negatives;
   s.cold_hits = st.cold_hits;
   s.recovered_ops = st.recovered_ops;
+  s.store_fail_stop = st.fail_stop;
+  s.corrupt_blocks = st.corrupt_blocks;
+  s.checkpoint_retries = st.checkpoint_retries;
   return s;
 }
 

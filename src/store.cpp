@@ -32,9 +32,10 @@ constexpr std::size_t kEvictBatch = 64;
 constexpr std::int64_t kMinKey = std::numeric_limits<std::int64_t>::min() + 1;
 constexpr std::int64_t kMaxKey = std::numeric_limits<std::int64_t>::max();
 
-bool full_write(int fd, const std::uint8_t* data, std::size_t size) {
+bool full_write(Io& io, int fd, const std::uint8_t* data,
+                std::size_t size) {
   while (size > 0) {
-    const ssize_t n = ::write(fd, data, size);
+    const ssize_t n = io.write(fd, data, size);
     if (n < 0) {
       if (errno == EINTR) continue;
       return false;
@@ -47,10 +48,10 @@ bool full_write(int fd, const std::uint8_t* data, std::size_t size) {
 
 /// Positioned write: WAL segments are preallocated, so appends land
 /// INSIDE the file (O_APPEND would put them after the zero tail).
-bool full_pwrite(int fd, const std::uint8_t* data, std::size_t size,
-                 std::uint64_t off) {
+bool full_pwrite(Io& io, int fd, const std::uint8_t* data,
+                 std::size_t size, std::uint64_t off) {
   while (size > 0) {
-    const ssize_t n = ::pwrite(fd, data, size, static_cast<off_t>(off));
+    const ssize_t n = io.pwrite(fd, data, size, static_cast<off_t>(off));
     if (n < 0) {
       if (errno == EINTR) continue;
       return false;
@@ -62,10 +63,10 @@ bool full_pwrite(int fd, const std::uint8_t* data, std::size_t size,
   return true;
 }
 
-bool full_pread(int fd, std::uint8_t* data, std::size_t size,
+bool full_pread(Io& io, int fd, std::uint8_t* data, std::size_t size,
                 std::uint64_t off) {
   while (size > 0) {
-    const ssize_t n = ::pread(fd, data, size, static_cast<off_t>(off));
+    const ssize_t n = io.pread(fd, data, size, static_cast<off_t>(off));
     if (n < 0) {
       if (errno == EINTR) continue;
       return false;
@@ -95,11 +96,12 @@ std::string run_path(const std::string& dir, std::size_t shard,
 }
 
 /// fsync the directory so created/unlinked NAMES are durable.
-void fsync_dir(const std::string& dir) {
-  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+void fsync_dir(Io& io, const std::string& dir) {
+  const int fd = io.open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC,
+                         0);
   if (fd < 0) return;
-  ::fsync(fd);
-  ::close(fd);
+  io.fsync(fd);
+  io.close(fd);
 }
 
 /// Segment preallocation size: the rotation threshold plus room for
@@ -111,13 +113,29 @@ std::uint64_t wal_prealloc_bytes(std::size_t checkpoint_bytes) {
 
 /// Open a fresh segment and preallocate it: with the blocks (and the
 /// file size) fixed up front, the per-commit fdatasync never journals
-/// an allocation or size change — measured ~2x cheaper on ext4. Best
-/// effort: filesystems without fallocate just grow the file normally.
-int open_segment_fresh(const std::string& path, std::uint64_t prealloc) {
-  const int fd = ::open(path.c_str(),
-                        O_CREAT | O_WRONLY | O_TRUNC | O_CLOEXEC, 0644);
-  if (fd >= 0 && prealloc > 0) {
-    (void)::fallocate(fd, 0, 0, static_cast<off_t>(prealloc));
+/// an allocation or size change — measured ~2x cheaper on ext4.
+/// A preallocation refused for SPACE (ENOSPC) or a failing device
+/// (EIO) is a hard error — better to surface "disk full" at open or
+/// rotation, with the previous segment still healthy, than mid-commit
+/// once writes start bouncing off the same wall. A filesystem that
+/// merely lacks fallocate (EOPNOTSUPP/EINVAL) just grows the file
+/// normally. On failure returns -1 with *err describing the cause and
+/// nothing left on disk.
+int open_segment_fresh(Io& io, const std::string& path,
+                       std::uint64_t prealloc, std::string* err) {
+  const int fd = io.open(path.c_str(),
+                         O_CREAT | O_WRONLY | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    if (err) *err = "open " + path + ": " + std::strerror(errno);
+    return -1;
+  }
+  if (prealloc > 0 &&
+      io.fallocate(fd, static_cast<off_t>(prealloc)) != 0 &&
+      (errno == ENOSPC || errno == EIO)) {
+    if (err) *err = "fallocate " + path + ": " + std::strerror(errno);
+    io.close(fd);
+    io.unlink(path.c_str());
+    return -1;
   }
   return fd;
 }
@@ -128,16 +146,19 @@ int open_segment_fresh(const std::string& path, std::uint64_t prealloc) {
 
 Wal::~Wal() { close_fd(); }
 
-bool Wal::open_fresh(const std::string& path, std::uint64_t seq,
+bool Wal::open_fresh(Io& io, const std::string& path, std::uint64_t seq,
                      std::uint64_t logical_base, std::uint64_t prealloc,
                      std::string* err) {
   close_fd();
-  fd_ = open_segment_fresh(path, prealloc);
+  io_ = &io;
+  std::string why;
+  fd_ = open_segment_fresh(io, path, prealloc, &why);
   if (fd_ < 0) {
-    if (err) *err = "wal open " + path + ": " + std::strerror(errno);
+    if (err) *err = "wal " + why;
     return false;
   }
-  io_error_ = false;
+  io_error_.store(false, std::memory_order_release);
+  err_no_ = 0;
   seq_ = seq;
   logical_base_ = logical_base;
   write_off_ = 0;
@@ -149,7 +170,7 @@ bool Wal::open_fresh(const std::string& path, std::uint64_t seq,
 }
 
 std::uint64_t Wal::append(const std::uint8_t* data, std::size_t size) {
-  if (fd_ < 0 || io_error_) return 0;
+  if (!healthy()) return 0;
   {
     std::lock_guard<std::mutex> lk(buf_mu_);
     pending_.insert(pending_.end(), data, data + size);
@@ -158,33 +179,52 @@ std::uint64_t Wal::append(const std::uint8_t* data, std::size_t size) {
 }
 
 bool Wal::flush_buffered() {
-  if (fd_ < 0 || io_error_) return false;
+  if (!healthy()) return false;
   {
     std::lock_guard<std::mutex> lk(buf_mu_);
     if (pending_.empty()) return true;
     flushing_.swap(pending_);
   }
-  const bool ok = full_pwrite(fd_, flushing_.data(), flushing_.size(),
-                              write_off_);
-  write_off_ += flushing_.size();
-  flushing_.clear();
-  if (!ok) {
-    // The segment can no longer make these bytes durable; release any
-    // waiters rather than letting them spin on an impossible target.
-    io_error_ = true;
-    mark_all_durable();
+  const bool ok = full_pwrite(*io_, fd_, flushing_.data(),
+                              flushing_.size(), write_off_);
+  if (ok) {
+    write_off_ += flushing_.size();
+  } else {
+    // A partial write may have landed garbage past write_off_;
+    // quarantine it so it can never replay. The failed bytes are
+    // dropped, not re-buffered: their batches will never be acked, so
+    // they must never reach the disk either. durable() is untouched —
+    // it must stay truthful (group-commit followers ack against it).
+    err_no_ = errno;
+    io_error_.store(true, std::memory_order_release);
+    (void)io_->ftruncate(fd_, static_cast<off_t>(write_off_));
   }
+  flushing_.clear();
   return ok;
 }
 
-bool Wal::sync_flush() {
+bool Wal::sync_flush(bool quarantine_unsynced) {
   if (!flush_buffered()) return false;
   // Everything flushed above ends at this logical offset; nothing can
   // land on the fd between the flush and the sync (fsync-mutex held).
   const std::uint64_t covered = logical_base_ + write_off_;
-  if (::fdatasync(fd_) != 0) {
-    io_error_ = true;
-    mark_all_durable();
+  if (io_->fdatasync(fd_) != 0) {
+    // fsyncgate: after a failed fdatasync the kernel may have dropped
+    // the dirty pages it covered, so the only honest move is to go
+    // unhealthy — never retry the sync. The bytes between durable()
+    // and the content end were flushed but never synced: their
+    // batches are about to be failed, so (outside kOff, where they
+    // WERE already acked) truncate them away lest a later crash +
+    // replay resurrect writes the client was told failed.
+    err_no_ = errno;
+    io_error_.store(true, std::memory_order_release);
+    if (quarantine_unsynced) {
+      const std::uint64_t keep =
+          durable_.load(std::memory_order_acquire) - logical_base_;
+      if (io_->ftruncate(fd_, static_cast<off_t>(keep)) == 0) {
+        write_off_ = keep;
+      }
+    }
     return false;
   }
   // Only fsync-mutex holders write durable_, so load+store is safe.
@@ -196,7 +236,7 @@ bool Wal::sync_flush() {
 
 void Wal::close_fd() {
   if (fd_ >= 0) {
-    ::close(fd_);
+    io_->close(fd_);
     fd_ = -1;
   }
 }
@@ -204,7 +244,8 @@ void Wal::close_fd() {
 void Wal::swap_segment(int fd, std::uint64_t seq, std::string path) {
   close_fd();
   fd_ = fd;
-  io_error_ = false;
+  io_error_.store(false, std::memory_order_release);
+  err_no_ = 0;
   seq_ = seq;
   path_ = std::move(path);
   write_off_ = 0;
@@ -218,30 +259,32 @@ bool Wal::truncate_tail_for_test(std::uint64_t bytes) {
   const std::uint64_t keep = bytes >= write_off_ ? 0 : write_off_ - bytes;
   // Chop the zero tail too, so replay sees a mid-record EOF, exactly
   // like a crash that lost the allocation.
-  return ::ftruncate(fd_, static_cast<off_t>(keep)) == 0;
+  return io_->ftruncate(fd_, static_cast<off_t>(keep)) == 0;
 }
 
-bool replay_wal_file(const std::string& path, std::vector<Entry>& ops,
-                     bool* torn, std::string* err) {
+bool replay_wal_file(Io& io, const std::string& path,
+                     std::vector<Entry>& ops, bool* torn,
+                     std::string* err) {
   if (torn) *torn = false;
-  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  const int fd = io.open(path.c_str(), O_RDONLY | O_CLOEXEC, 0);
   if (fd < 0) {
     if (err) *err = "wal replay open " + path + ": " + std::strerror(errno);
     return false;
   }
   struct stat st;
   if (::fstat(fd, &st) != 0) {
-    ::close(fd);
+    io.close(fd);
     if (err) *err = "wal replay stat " + path + ": " + std::strerror(errno);
     return false;
   }
   std::vector<std::uint8_t> bytes(static_cast<std::size_t>(st.st_size));
-  if (!bytes.empty() && !full_pread(fd, bytes.data(), bytes.size(), 0)) {
-    ::close(fd);
+  if (!bytes.empty() &&
+      !full_pread(io, fd, bytes.data(), bytes.size(), 0)) {
+    io.close(fd);
     if (err) *err = "wal replay read " + path + ": " + std::strerror(errno);
     return false;
   }
-  ::close(fd);
+  io.close(fd);
   std::size_t at = 0;
   for (;;) {
     std::size_t consumed = 0;
@@ -259,18 +302,18 @@ bool replay_wal_file(const std::string& path, std::vector<Entry>& ops,
 // --- Run --------------------------------------------------------------
 
 Run::~Run() {
-  if (fd_ >= 0) ::close(fd_);
+  if (fd_ >= 0) io_->close(fd_);
 }
 
-std::shared_ptr<Run> Run::load(const std::string& path, std::uint64_t seq,
-                               std::string* err) {
-  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+std::shared_ptr<Run> Run::load(Io& io, const std::string& path,
+                               std::uint64_t seq, std::string* err) {
+  const int fd = io.open(path.c_str(), O_RDONLY | O_CLOEXEC, 0);
   if (fd < 0) {
     if (err) *err = "run open " + path + ": " + std::strerror(errno);
     return nullptr;
   }
   auto fail = [&](const char* why) -> std::shared_ptr<Run> {
-    ::close(fd);
+    io.close(fd);
     if (err) *err = std::string("run ") + path + ": " + why;
     return nullptr;
   };
@@ -280,7 +323,7 @@ std::shared_ptr<Run> Run::load(const std::string& path, std::uint64_t seq,
   if (size < kRunFooterBytes) return fail("too short for a footer");
   const std::uint64_t footer_off = size - kRunFooterBytes;
   std::uint8_t foot[kRunFooterBytes];
-  if (!full_pread(fd, foot, kRunFooterBytes, footer_off)) {
+  if (!full_pread(io, fd, foot, kRunFooterBytes, footer_off)) {
     return fail("footer read failed");
   }
   if (load_u64(foot + 56) != kRunMagic) return fail("bad magic");
@@ -306,7 +349,7 @@ std::shared_ptr<Run> Run::load(const std::string& path, std::uint64_t seq,
   std::vector<std::uint8_t> sections(
       static_cast<std::size_t>(index_len + bloom_len));
   if (!sections.empty() &&
-      !full_pread(fd, sections.data(), sections.size(), index_off)) {
+      !full_pread(io, fd, sections.data(), sections.size(), index_off)) {
     return fail("index/bloom read failed");
   }
   std::uint32_t want = crc32c(sections.data(), sections.size());
@@ -314,6 +357,7 @@ std::shared_ptr<Run> Run::load(const std::string& path, std::uint64_t seq,
   if (want != crc) return fail("footer crc mismatch");
 
   auto run = std::shared_ptr<Run>(new Run());
+  run->io_ = &io;
   run->fd_ = fd;
   run->seq_ = seq;
   run->entry_count_ = entry_count;
@@ -327,7 +371,7 @@ std::shared_ptr<Run> Run::load(const std::string& path, std::uint64_t seq,
     e.offset = load_u64(p + 8);
     e.len = load_u32(p + 16);
     if (e.offset + e.len > index_off) {
-      ::close(fd);
+      io.close(fd);
       run->fd_ = -1;
       if (err) *err = "run " + path + ": block outside data section";
       return nullptr;
@@ -346,7 +390,9 @@ bool Run::read_block(std::size_t idx, std::vector<Entry>& out) const {
   const IndexEntry& e = index_[idx];
   if (e.len < 8) return false;
   std::vector<std::uint8_t> buf(e.len);
-  if (!full_pread(fd_, buf.data(), buf.size(), e.offset)) return false;
+  if (!full_pread(*io_, fd_, buf.data(), buf.size(), e.offset)) {
+    return false;
+  }
   const std::uint32_t count = load_u32(buf.data());
   const std::uint32_t crc = load_u32(buf.data() + 4);
   if (std::uint64_t{e.len} != 8 + std::uint64_t{count} * kEntryBytes) {
@@ -430,10 +476,12 @@ std::size_t Run::read_range(std::int64_t low, std::int64_t high,
 
 // --- RunWriter --------------------------------------------------------
 
-RunWriter::RunWriter(std::string path, std::size_t expected)
-    : path_(std::move(path)), bloom_(expected == 0 ? 1 : expected) {
-  fd_ = ::open(path_.c_str(), O_CREAT | O_WRONLY | O_TRUNC | O_CLOEXEC,
-               0644);
+RunWriter::RunWriter(Io& io, std::string path, std::size_t expected)
+    : io_(&io),
+      path_(std::move(path)),
+      bloom_(expected == 0 ? 1 : expected) {
+  fd_ = io_->open(path_.c_str(),
+                  O_CREAT | O_WRONLY | O_TRUNC | O_CLOEXEC, 0644);
   if (fd_ < 0) io_error_ = true;
 }
 
@@ -454,7 +502,7 @@ void RunWriter::seal_block() {
   put_u32(frame, static_cast<std::uint32_t>(block_entries_));
   put_u32(frame, crc32c(block_.data(), block_.size()));
   frame.insert(frame.end(), block_.begin(), block_.end());
-  if (!full_write(fd_, frame.data(), frame.size())) {
+  if (!full_write(*io_, fd_, frame.data(), frame.size())) {
     io_error_ = true;
     return;
   }
@@ -470,8 +518,10 @@ void RunWriter::seal_block() {
 bool RunWriter::finish(std::string* err) {
   seal_block();
   if (fd_ < 0 || io_error_) {
-    if (err) *err = "run write " + path_ + " failed";
-    if (fd_ >= 0) ::close(fd_);
+    if (err) {
+      *err = "run write " + path_ + ": " + std::strerror(errno);
+    }
+    if (fd_ >= 0) io_->close(fd_);
     fd_ = -1;
     return false;
   }
@@ -492,9 +542,9 @@ bool RunWriter::finish(std::string* err) {
       crc32c(tail.data(), foot_at + 52);  // index + bloom + footer prefix
   put_u32(tail, crc);
   put_u64(tail, kRunMagic);
-  bool ok = full_write(fd_, tail.data(), tail.size());
-  ok = ok && ::fsync(fd_) == 0;
-  ok = ::close(fd_) == 0 && ok;
+  bool ok = full_write(*io_, fd_, tail.data(), tail.size());
+  ok = ok && io_->fsync(fd_) == 0;
+  ok = io_->close(fd_) == 0 && ok;
   fd_ = -1;
   if (!ok && err) *err = "run seal " + path_ + ": " + std::strerror(errno);
   return ok;
@@ -545,15 +595,36 @@ struct Store::SyncShared {
 };
 
 Store::Store(MapType& map, const StoreOptions& opts)
-    : map_(map), opts_(opts), sync_(new SyncShared()) {}
+    : map_(map),
+      opts_(opts),
+      io_(opts.io ? opts.io : &real_io()),
+      sync_(new SyncShared()) {}
 
 Store::~Store() { close(); }
 
 std::size_t Store::shard_count() const { return map_.shard_count(); }
 
+std::string Store::last_error() const {
+  std::lock_guard<std::mutex> lk(err_mu_);
+  return last_error_;
+}
+
+void Store::set_last_error(const std::string& why) {
+  std::lock_guard<std::mutex> lk(err_mu_);
+  last_error_ = why;
+}
+
+void Store::enter_fail_stop(const std::string& why) {
+  bool expected = false;
+  if (fail_stop_.compare_exchange_strong(expected, true,
+                                         std::memory_order_acq_rel)) {
+    set_last_error(why);
+  }
+}
+
 bool Store::open(std::string* err) {
   if (open_) return true;
-  if (::mkdir(opts_.data_dir.c_str(), 0755) != 0 && errno != EEXIST) {
+  if (io_->mkdir(opts_.data_dir.c_str(), 0755) != 0 && errno != EEXIST) {
     if (err) {
       *err = "mkdir " + opts_.data_dir + ": " + std::strerror(errno);
     }
@@ -567,7 +638,7 @@ bool Store::open(std::string* err) {
   for (std::size_t s = 0; s < shard_count; ++s) {
     if (!recover_shard(s, err)) return false;
   }
-  fsync_dir(opts_.data_dir);
+  fsync_dir(*io_, opts_.data_dir);
   open_ = true;
   sync_->stop = false;
   if (opts_.flush_poll_ms > 0) {
@@ -608,11 +679,11 @@ bool Store::recover_shard(std::size_t s, std::string* err) {
   std::uint64_t max_seq = 0;
   for (const auto& [seq, path] : run_files) {
     std::string why;
-    auto run = Run::load(path, seq, &why);
+    auto run = Run::load(*io_, path, seq, &why);
     if (!run) {
       // A flush the crash interrupted: its WAL segments still exist
       // and replay below, so the partial file is just deleted.
-      ::unlink(path.c_str());
+      io_->unlink(path.c_str());
       continue;
     }
     sh.runs.push_back(std::move(run));
@@ -628,12 +699,12 @@ bool Store::recover_shard(std::size_t s, std::string* err) {
     max_seq = std::max(max_seq, seq);
     if (seq <= newest_run_seq) {
       // Retired by the flush that produced the newest run.
-      ::unlink(path.c_str());
+      io_->unlink(path.c_str());
       continue;
     }
     ops.clear();
     bool torn = false;
-    if (!replay_wal_file(path, ops, &torn, err)) return false;
+    if (!replay_wal_file(*io_, path, ops, &torn, err)) return false;
     for (std::size_t at = 0; at < ops.size(); at += kReplayBatch) {
       const std::size_t end = std::min(ops.size(), at + kReplayBatch);
       leap::txn([&](stm::Tx& tx) {
@@ -659,8 +730,9 @@ bool Store::recover_shard(std::size_t s, std::string* err) {
   recovered_ops_.fetch_add(replayed, std::memory_order_relaxed);
 
   const std::uint64_t fresh_seq = max_seq + 1;
-  if (!sh.wal.open_fresh(wal_path(opts_.data_dir, s, fresh_seq), fresh_seq,
-                         0, wal_prealloc_bytes(opts_.checkpoint_bytes),
+  if (!sh.wal.open_fresh(*io_, wal_path(opts_.data_dir, s, fresh_seq),
+                         fresh_seq, 0,
+                         wal_prealloc_bytes(opts_.checkpoint_bytes),
                          err)) {
     return false;
   }
@@ -673,13 +745,21 @@ bool Store::recover_shard(std::size_t s, std::string* err) {
 
 void Store::close() {
   if (!open_) return;
-  // Make everything appended durable, whatever the mode.
-  for (auto& sh : shards_) {
-    std::lock_guard<std::mutex> fs(sh->fsync_mu);
-    if (sh->wal.healthy() && sh->wal.sync_flush()) {
+  // Make everything appended durable, whatever the mode. A shard that
+  // already failed is skipped (fdatasync is never retried — its
+  // durable prefix is what recovery will see); a shard failing HERE
+  // enters fail-stop like any other, and close still completes: a
+  // fail-stopped store shuts down cleanly, it just stops acking.
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    ShardState& sh = *shards_[s];
+    std::lock_guard<std::mutex> fs(sh.fsync_mu);
+    if (!sh.wal.healthy()) continue;
+    if (sh.wal.sync_flush(opts_.fsync_mode != FsyncMode::kOff)) {
       wal_fsyncs_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      enter_fail_stop("wal close sync " + sh.wal.path() + ": " +
+                      std::strerror(sh.wal.last_errno()));
     }
-    sh->wal.mark_all_durable();
   }
   {
     std::lock_guard<std::mutex> lk(sync_->mu);
@@ -691,12 +771,15 @@ void Store::close() {
   open_ = false;
 }
 
-void Store::log_batch(const LogOp* ops, std::size_t n,
+bool Store::log_batch(const LogOp* ops, std::size_t n,
                       const std::function<void()>& apply) {
   if (!open_ || n == 0) {
     apply();
-    return;
+    return true;
   }
+  // Read-only fail-stop: reject before `apply` so a doomed mutation
+  // never even reaches the memtable.
+  if (fail_stop_.load(std::memory_order_acquire)) return false;
   struct Tagged {
     std::size_t shard;
     Entry e;
@@ -743,7 +826,22 @@ void Store::log_batch(const LogOp* ops, std::size_t n,
     spans.push_back({s, off, records.size() - off, first, group.size()});
   }
   for (const Span& sp : spans) shards_[sp.shard]->mu.lock();
+  // Re-check health under the commit mutexes: a shard whose WAL died
+  // since the pre-check above must reject the batch BEFORE the
+  // memtable mutation, not after. (A failure that lands between this
+  // check and the append below is caught by the append returning 0 —
+  // then the mutation is briefly visible but quarantined off the log,
+  // the same window any pre-durability read already has.)
+  for (const Span& sp : spans) {
+    if (!shards_[sp.shard]->wal.healthy()) {
+      for (auto it = spans.rbegin(); it != spans.rend(); ++it) {
+        shards_[it->shard]->mu.unlock();
+      }
+      return false;
+    }
+  }
   apply();
+  bool appended_all = true;
   std::vector<std::pair<std::size_t, std::uint64_t>> targets;
   targets.reserve(spans.size());
   for (const Span& sp : spans) {
@@ -754,6 +852,10 @@ void Store::log_batch(const LogOp* ops, std::size_t n,
       wal_appends_.fetch_add(1, std::memory_order_relaxed);
       sh.appended_ops.fetch_add(sp.count, std::memory_order_relaxed);
       targets.emplace_back(sp.shard, end);
+    } else {
+      // The record never reached even the append buffer; this batch
+      // cannot be acked no matter what the other shards say.
+      appended_all = false;
     }
     for (std::size_t i = sp.first; i < sp.first + sp.count; ++i) {
       if (tagged[i].e.kind == kEntryTombstone) {
@@ -766,35 +868,52 @@ void Store::log_batch(const LogOp* ops, std::size_t n,
   for (auto it = spans.rbegin(); it != spans.rend(); ++it) {
     shards_[it->shard]->mu.unlock();
   }
-  wait_durable(targets);
+  const bool durable = wait_durable(targets);
+  return appended_all && durable;
 }
 
-void Store::wait_durable(
+bool Store::wait_durable(
     const std::vector<std::pair<std::size_t, std::uint64_t>>& targets) {
-  if (targets.empty() || opts_.fsync_mode == FsyncMode::kOff) return;
+  if (targets.empty()) return true;
+  if (opts_.fsync_mode == FsyncMode::kOff) {
+    // Ack on append: the mode's contract is that the OS (or the
+    // flusher) writes the bytes out eventually and a crash may lose
+    // them. The appends above landed on healthy segments, so ack.
+    return true;
+  }
   const bool group = opts_.fsync_mode == FsyncMode::kGroup;
+  bool ok = true;
   // Sync everything this shard has appended; caller holds fsync_mu.
-  const auto lead_sync = [&](ShardState& sh) {
-    if (!sh.wal.healthy()) return;  // released via mark_all_durable
+  // False = this shard can no longer make the batch durable.
+  const auto lead_sync = [&](std::size_t s, ShardState& sh) {
+    if (!sh.wal.healthy()) return false;  // never retry a failed sync
     const std::uint64_t ops_now =
         sh.appended_ops.load(std::memory_order_relaxed);
-    if (sh.wal.sync_flush()) {
-      wal_fsyncs_.fetch_add(1, std::memory_order_relaxed);
-      if (group) {
-        wal_group_ops_.fetch_add(ops_now - sh.synced_ops,
-                                 std::memory_order_relaxed);
-      }
-      sh.synced_ops = ops_now;
+    if (!sh.wal.sync_flush(/*quarantine_unsynced=*/true)) {
+      enter_fail_stop("wal shard " + std::to_string(s) + " " +
+                      sh.wal.path() + ": " +
+                      std::strerror(sh.wal.last_errno()));
+      return false;
     }
+    wal_fsyncs_.fetch_add(1, std::memory_order_relaxed);
+    if (group) {
+      wal_group_ops_.fetch_add(ops_now - sh.synced_ops,
+                               std::memory_order_relaxed);
+    }
+    sh.synced_ops = ops_now;
+    return true;
   };
   if (!group) {  // kAlways: one unshared fdatasync per shard touched
     for (const auto& [s, end] : targets) {
       ShardState& sh = *shards_[s];
       std::lock_guard<std::mutex> fs(sh.fsync_mu);
-      (void)end;
-      lead_sync(sh);
+      // A previous holder (rotation's final sync, or close) may have
+      // already made our bytes durable; durable() is truthful, so
+      // trust it before leading a sync of our own.
+      if (sh.wal.durable() >= end) continue;
+      if (!lead_sync(s, sh)) ok = false;
     }
-    return;
+    return ok;
   }
   // Leader-follower group commit. Blocking on fsync_mu IS the wait:
   // the current holder is fdatasyncing every byte appended before it
@@ -803,12 +922,17 @@ void Store::wait_durable(
   // all (the group win). Otherwise we lead the next group ourselves,
   // covering every batch that queued behind us meanwhile. Concurrent
   // batches whose key ranges land on different shards lead
-  // independent fsync chains in parallel.
+  // independent fsync chains in parallel. durable() never lies — a
+  // failed leader leaves it where the last successful sync put it and
+  // flips the store to fail-stop instead — so a follower's group win
+  // is always a true ack.
   for (const auto& [s, end] : targets) {
     ShardState& sh = *shards_[s];
     std::lock_guard<std::mutex> fs(sh.fsync_mu);
-    if (sh.wal.durable() < end) lead_sync(sh);
+    if (sh.wal.durable() >= end) continue;  // group win
+    if (!lead_sync(s, sh)) ok = false;
   }
+  return ok;
 }
 
 void Store::flusher_main() {
@@ -820,15 +944,21 @@ void Store::flusher_main() {
           [&] { return sync_->stop; });
       if (sync_->stop) return;
     }
+    if (fail_stop_.load(std::memory_order_acquire)) continue;
     for (std::size_t s = 0; s < shards_.size(); ++s) {
       ShardState& sh = *shards_[s];
       {
         // Drain buffered WAL bytes to the fd. In kOff mode this is
         // the only writer between checkpoints (bounds what a process
         // crash can lose to roughly one poll period); in the synced
-        // modes the buffer is almost always already empty.
+        // modes the buffer is almost always already empty. A write
+        // failure here is a WAL failure like any other: fail-stop.
         std::lock_guard<std::mutex> fs(sh.fsync_mu);
-        if (sh.wal.healthy()) sh.wal.flush_buffered();
+        if (sh.wal.healthy() && !sh.wal.flush_buffered()) {
+          enter_fail_stop("wal drain shard " + std::to_string(s) + " " +
+                          sh.wal.path() + ": " +
+                          std::strerror(sh.wal.last_errno()));
+        }
       }
       if (sh.wal.segment_bytes() >= opts_.checkpoint_bytes ||
           sh.needs_flush.load(std::memory_order_acquire)) {
@@ -839,7 +969,7 @@ void Store::flusher_main() {
 }
 
 void Store::checkpoint() {
-  if (!open_) return;
+  if (!open_ || fail_stop_.load(std::memory_order_acquire)) return;
   for (std::size_t s = 0; s < shards_.size(); ++s) {
     ShardState& sh = *shards_[s];
     bool dirty = sh.wal.segment_bytes() > 0 ||
@@ -854,6 +984,7 @@ void Store::checkpoint() {
 
 bool Store::flush_shard(std::size_t s) {
   std::lock_guard<std::mutex> flush_guard(flush_mu_);
+  if (fail_stop_.load(std::memory_order_acquire)) return false;
   ShardState& sh = *shards_[s];
   std::uint64_t retiring_seq = 0;
   {
@@ -864,19 +995,42 @@ bool Store::flush_shard(std::size_t s) {
     if (!dirty) return true;
     {
       // Rotate: final-sync the retiring segment (its waiters become
-      // durable), then swap in a fresh one under the fsync mutex.
+      // durable), then swap in a fresh one under the fsync mutex. A
+      // segment that cannot final-sync must NOT be retired — its tail
+      // never provably reached the disk — so a sync failure here is a
+      // WAL failure: fail-stop, segment kept, no rotation. (The old
+      // code marked everything durable unconditionally after the
+      // sync, healthy or not — a false ack this path must never make
+      // again.)
       std::lock_guard<std::mutex> fs(sh.fsync_mu);
-      if (sh.wal.healthy() && sh.wal.sync_flush()) {
-        wal_fsyncs_.fetch_add(1, std::memory_order_relaxed);
+      if (!sh.wal.healthy() ||
+          !sh.wal.sync_flush(opts_.fsync_mode != FsyncMode::kOff)) {
+        enter_fail_stop("wal rotate sync shard " + std::to_string(s) +
+                        " " + sh.wal.path() + ": " +
+                        std::strerror(sh.wal.last_errno()));
+        sh.needs_flush.store(true, std::memory_order_release);
+        return false;
       }
+      wal_fsyncs_.fetch_add(1, std::memory_order_relaxed);
+      // The successful sync covered every appended byte (the commit
+      // mutex is held: nothing appends concurrently), so this is a
+      // truthful no-op settling of the accounting before the swap.
       sh.wal.mark_all_durable();
       sh.synced_ops = sh.appended_ops.load(std::memory_order_relaxed);
       retiring_seq = sh.wal.seq();
       const std::string path =
           wal_path(opts_.data_dir, s, retiring_seq + 1);
+      std::string why;
       const int fd = open_segment_fresh(
-          path, wal_prealloc_bytes(opts_.checkpoint_bytes));
+          *io_, path, wal_prealloc_bytes(opts_.checkpoint_bytes), &why);
       if (fd < 0) {
+        // Can't provision the successor segment (ENOSPC, most
+        // likely). NOT fail-stop: the retiring segment is synced and
+        // still healthy, so writes keep flowing into it; the flusher
+        // retries the rotation next pass and may find space freed.
+        checkpoint_retries_.fetch_add(1, std::memory_order_relaxed);
+        set_last_error("wal rotate shard " + std::to_string(s) + ": " +
+                       why);
         sh.needs_flush.store(true, std::memory_order_release);
         return false;
       }
@@ -914,7 +1068,7 @@ bool Store::flush_shard(std::size_t s) {
   // Merge snapshot values with tombstones (value wins on a shared
   // key: the snapshot is newer than any flushed-generation erase).
   const std::string rpath = run_path(opts_.data_dir, s, retiring_seq);
-  RunWriter writer(rpath, snap.size() + tombs_copy.size());
+  RunWriter writer(*io_, rpath, snap.size() + tombs_copy.size());
   auto ti = tombs_copy.begin();
   for (const auto& [key, value] : snap) {
     while (ti != tombs_copy.end() && *ti < key) {
@@ -927,20 +1081,28 @@ bool Store::flush_shard(std::size_t s) {
   for (; ti != tombs_copy.end(); ++ti) {
     writer.add(Entry{kEntryTombstone, *ti, 0});
   }
+  // A failed run write is atomic-or-nothing: delete the partial file,
+  // keep every WAL segment it would have retired (they replay the
+  // same data), count the retry, and let the flusher's next pass try
+  // again — the WAL lost nothing, so this is NOT fail-stop.
   std::string why;
   if (!writer.finish(&why)) {
-    ::unlink(rpath.c_str());
+    io_->unlink(rpath.c_str());
+    checkpoint_retries_.fetch_add(1, std::memory_order_relaxed);
+    set_last_error(why);
     sh.needs_flush.store(true, std::memory_order_release);
     return false;
   }
-  auto run = Run::load(rpath, retiring_seq, &why);
+  auto run = Run::load(*io_, rpath, retiring_seq, &why);
   if (!run) {
-    ::unlink(rpath.c_str());
+    io_->unlink(rpath.c_str());
+    checkpoint_retries_.fetch_add(1, std::memory_order_relaxed);
+    set_last_error(why);
     sh.needs_flush.store(true, std::memory_order_release);
     return false;
   }
   // The run's NAME must be durable before its WAL segments die.
-  fsync_dir(opts_.data_dir);
+  fsync_dir(*io_, opts_.data_dir);
   {
     std::lock_guard<std::mutex> g(sh.mu);
     sh.runs.push_back(std::move(run));
@@ -949,10 +1111,10 @@ bool Store::flush_shard(std::size_t s) {
   }
   flushes_.fetch_add(1, std::memory_order_relaxed);
   for (std::uint64_t seq = sh.oldest_wal_seq; seq <= retiring_seq; ++seq) {
-    ::unlink(wal_path(opts_.data_dir, s, seq).c_str());
+    io_->unlink(wal_path(opts_.data_dir, s, seq).c_str());
   }
   sh.oldest_wal_seq = retiring_seq + 1;
-  fsync_dir(opts_.data_dir);
+  fsync_dir(*io_, opts_.data_dir);
 
   // Evict the flushed keys so the memtable only holds what the run
   // does not: compare-erase keeps any key a concurrent writer updated
@@ -991,6 +1153,12 @@ std::optional<std::int64_t> Store::get_cold(std::int64_t key) {
     }
     bool io_ok = true;
     const auto hit = run->get(key, &io_ok);
+    if (!io_ok) {
+      // Unreadable or CRC-failed block: counted, then the lookup
+      // degrades to "absent in this run" — older runs (or a true
+      // miss) still answer, never a silent wrong value.
+      corrupt_blocks_.fetch_add(1, std::memory_order_relaxed);
+    }
     if (!hit) continue;  // absent here (or unreadable block): older runs
     if (hit->tombstone) return std::nullopt;
     // Close the eviction race: a writer may have re-inserted the key
@@ -1074,6 +1242,9 @@ std::size_t Store::scan_merged(std::int64_t low, std::size_t limit,
         rbuf.clear();
         bool io_ok = true;
         run->read_range(cursor, window_high, chunk, rbuf, &io_ok);
+        if (!io_ok) {
+          corrupt_blocks_.fetch_add(1, std::memory_order_relaxed);
+        }
         if (rbuf.size() == chunk && rbuf.back().key < window_high) {
           window_high = rbuf.back().key;
           capped = true;
@@ -1118,6 +1289,10 @@ StoreStats Store::stats() const {
   st.bloom_negatives = bloom_negatives_.load(std::memory_order_relaxed);
   st.cold_hits = cold_hits_.load(std::memory_order_relaxed);
   st.recovered_ops = recovered_ops_.load(std::memory_order_relaxed);
+  st.fail_stop = fail_stop_.load(std::memory_order_acquire) ? 1 : 0;
+  st.corrupt_blocks = corrupt_blocks_.load(std::memory_order_relaxed);
+  st.checkpoint_retries =
+      checkpoint_retries_.load(std::memory_order_relaxed);
   for (const auto& sh : shards_) {
     std::lock_guard<std::mutex> g(sh->mu);
     st.runs += sh->runs.size();

@@ -623,6 +623,9 @@ void test_stats_codec_round_trip() {
   in.bloom_negatives = 17;
   in.cold_hits = 18;
   in.recovered_ops = 19;
+  in.store_fail_stop = 20;
+  in.corrupt_blocks = 21;
+  in.checkpoint_retries = 22;
   for (std::size_t i = 0; i < kBatchHistBuckets; ++i) {
     in.batch_hist[i] = 100 + i;
   }
@@ -653,6 +656,9 @@ void test_stats_codec_round_trip() {
   CHECK_EQ(out.bloom_negatives, in.bloom_negatives);
   CHECK_EQ(out.cold_hits, in.cold_hits);
   CHECK_EQ(out.recovered_ops, in.recovered_ops);
+  CHECK_EQ(out.store_fail_stop, in.store_fail_stop);
+  CHECK_EQ(out.corrupt_blocks, in.corrupt_blocks);
+  CHECK_EQ(out.checkpoint_retries, in.checkpoint_retries);
   for (std::size_t i = 0; i < kBatchHistBuckets; ++i) {
     CHECK_EQ(out.batch_hist[i], in.batch_hist[i]);
   }

@@ -21,6 +21,7 @@
 
 #include "leaplist/sharded.hpp"
 #include "leaplist/store/format.hpp"
+#include "leaplist/store/io.hpp"
 #include "leaplist/store/run.hpp"
 #include "leaplist/store/store.hpp"
 #include "leaplist/store/wal.hpp"
@@ -62,7 +63,7 @@ std::int64_t value_of(std::int64_t key, std::int64_t round = 0) {
 /// closure shape the server uses, mirroring it into `oracle`.
 void apply_batch(store::Store& st, MapType& map, Oracle& oracle,
                  const std::vector<store::LogOp>& ops) {
-  st.log_batch(ops.data(), ops.size(), [&] {
+  CHECK(st.log_batch(ops.data(), ops.size(), [&] {
     leap::txn([&](leap::stm::Tx& tx) {
       for (const auto& op : ops) {
         if (op.erase) {
@@ -72,7 +73,7 @@ void apply_batch(store::Store& st, MapType& map, Oracle& oracle,
         }
       }
     });
-  });
+  }));
   for (const auto& op : ops) {
     if (op.erase) {
       oracle.erase(op.key);
@@ -205,7 +206,7 @@ void test_run_round_trip() {
   // Multiple blocks (> kRunBlockEntries entries), values + tombstones,
   // added in strictly ascending key order as the flush path does.
   constexpr std::int64_t kKeys = 1000;
-  store::RunWriter writer(path, kKeys);
+  store::RunWriter writer(store::real_io(), path, kKeys);
   for (std::int64_t k = 0; k < kKeys; ++k) {
     Entry e;
     e.kind = (k % 10 == 3) ? kEntryTombstone : kEntryValue;
@@ -217,7 +218,7 @@ void test_run_round_trip() {
   CHECK(writer.finish(&err));
   CHECK_EQ(writer.entry_count(), static_cast<std::uint64_t>(kKeys));
 
-  auto run = store::Run::load(path, 1, &err);
+  auto run = store::Run::load(store::real_io(), path, 1, &err);
   CHECK(run != nullptr);
   CHECK_EQ(run->entry_count(), static_cast<std::uint64_t>(kKeys));
   CHECK_EQ(run->min_key(), std::int64_t{0});
@@ -262,7 +263,7 @@ void test_run_round_trip() {
   const std::string torn = dir + "/run-0-2.run";
   CHECK(std::system(("head -c 200 '" + path + "' > '" + torn + "'")
                         .c_str()) == 0);
-  CHECK(store::Run::load(torn, 2, &err) == nullptr);
+  CHECK(store::Run::load(store::real_io(), torn, 2, &err) == nullptr);
 
   remove_dir(dir);
   leap::test::finish("store run round trip");
@@ -276,7 +277,7 @@ void test_wal_segment_replay_and_tear() {
 
   store::Wal wal;
   std::string err;
-  CHECK(wal.open_fresh(path, 1, 0, 1u << 20, &err));
+  CHECK(wal.open_fresh(store::real_io(), path, 1, 0, 1u << 20, &err));
   std::vector<std::uint8_t> rec;
   constexpr int kRecords = 8;
   std::size_t rec_bytes = 0;
@@ -289,7 +290,7 @@ void test_wal_segment_replay_and_tear() {
     CHECK_EQ(end, static_cast<std::uint64_t>(r + 1) * rec_bytes);
   }
   CHECK_EQ(wal.durable(), std::uint64_t{0});
-  CHECK(wal.sync_flush());
+  CHECK(wal.sync_flush(true));
   CHECK_EQ(wal.durable(), wal.appended());
   CHECK_EQ(wal.segment_bytes(), wal.appended());
 
@@ -297,7 +298,7 @@ void test_wal_segment_replay_and_tear() {
   // zero tail without reporting a tear.
   std::vector<Entry> ops;
   bool torn = true;
-  CHECK(store::replay_wal_file(path, ops, &torn, &err));
+  CHECK(store::replay_wal_file(store::real_io(), path, ops, &torn, &err));
   CHECK(!torn);
   CHECK_EQ(ops.size(), static_cast<std::size_t>(kRecords));
   for (int r = 0; r < kRecords; ++r) {
@@ -310,7 +311,7 @@ void test_wal_segment_replay_and_tear() {
   // the final record is now mid-append; replay keeps the prefix.
   CHECK(wal.truncate_tail_for_test(5));
   ops.clear();
-  CHECK(store::replay_wal_file(path, ops, &torn, &err));
+  CHECK(store::replay_wal_file(store::real_io(), path, ops, &torn, &err));
   CHECK(torn);
   CHECK_EQ(ops.size(), static_cast<std::size_t>(kRecords - 1));
   wal.close_fd();
@@ -318,10 +319,10 @@ void test_wal_segment_replay_and_tear() {
   // An empty fresh segment replays as zero ops, clean.
   store::Wal fresh;
   const std::string path2 = dir + "/wal-0-2.log";
-  CHECK(fresh.open_fresh(path2, 2, 0, 1u << 20, &err));
-  CHECK(fresh.sync_flush());
+  CHECK(fresh.open_fresh(store::real_io(), path2, 2, 0, 1u << 20, &err));
+  CHECK(fresh.sync_flush(true));
   ops.clear();
-  CHECK(store::replay_wal_file(path2, ops, &torn, &err));
+  CHECK(store::replay_wal_file(store::real_io(), path2, ops, &torn, &err));
   CHECK(!torn);
   CHECK(ops.empty());
   fresh.close_fd();
@@ -480,11 +481,11 @@ void test_store_torn_tail() {
     CHECK(st.open(&err));
     for (std::int64_t b = 0; b < kBatches; ++b) {
       const std::vector<store::LogOp> batch = {{false, b, value_of(b)}};
-      st.log_batch(batch.data(), batch.size(), [&] {
+      CHECK(st.log_batch(batch.data(), batch.size(), [&] {
         leap::txn([&](leap::stm::Tx& tx) {
           map.insert_in(tx, batch[0].key, batch[0].value);
         });
-      });
+      }));
     }
     // Chop 5 bytes off the shard's WAL content: the final record is
     // now torn, exactly as a crash mid-append would leave it.
@@ -555,6 +556,56 @@ void test_store_fsync_modes() {
   leap::test::finish("store fsync modes");
 }
 
+// --- fault-spec parsing and open-time ENOSPC --------------------------
+
+void test_fault_spec_parse() {
+  auto spec = store::parse_fault_spec("write:10:enospc:sticky");
+  CHECK(spec.has_value());
+  CHECK(spec->point == store::FaultPoint::kWrite);
+  CHECK_EQ(spec->nth, std::uint64_t{10});
+  CHECK(spec->kind == store::FaultKind::kEnospc);
+  CHECK(spec->sticky);
+  spec = store::parse_fault_spec("sync:1:syncfail");
+  CHECK(spec.has_value());
+  CHECK(spec->point == store::FaultPoint::kSync);
+  CHECK(spec->kind == store::FaultKind::kSyncFail);
+  CHECK(!spec->sticky);
+  CHECK(store::parse_fault_spec("any:3:eio").has_value());
+  CHECK(store::parse_fault_spec("fallocate:1:enospc").has_value());
+  CHECK(store::parse_fault_spec("write:2:bitflip").has_value());
+  // Malformed or impossible specs are rejected, never half-armed.
+  CHECK(!store::parse_fault_spec("").has_value());
+  CHECK(!store::parse_fault_spec("write").has_value());
+  CHECK(!store::parse_fault_spec("write:0:eio").has_value());
+  CHECK(!store::parse_fault_spec("write:1:nope").has_value());
+  CHECK(!store::parse_fault_spec("elsewhere:1:eio").has_value());
+  CHECK(!store::parse_fault_spec("write:1:eio:maybe").has_value());
+  CHECK(!store::parse_fault_spec("sync:1:shortwrite").has_value());
+  CHECK(!store::parse_fault_spec("any:1:bitflip").has_value());
+  CHECK(!store::parse_fault_spec("write:1:syncfail").has_value());
+  leap::test::finish("store fault spec parse");
+}
+
+void test_store_open_enospc() {
+  // Preallocation failing at open (a full disk) must surface a clear
+  // error from Store::open, not a silent degraded store.
+  const std::string dir = make_dir();
+  store::FaultIo fio(store::real_io());
+  fio.arm(*store::parse_fault_spec("fallocate:1:enospc:sticky"));
+  MapType map({.shards = 2});
+  store::StoreOptions opts;
+  opts.data_dir = dir;
+  opts.flush_poll_ms = 0;
+  opts.io = &fio;
+  store::Store st(map, opts);
+  std::string err;
+  CHECK(!st.open(&err));
+  CHECK(err.find("fallocate") != std::string::npos);
+  CHECK(fio.faults_injected() >= 1);
+  remove_dir(dir);
+  leap::test::finish("store open enospc");
+}
+
 }  // namespace
 
 int main() {
@@ -566,5 +617,7 @@ int main() {
   test_store_reopen_recovery();
   test_store_torn_tail();
   test_store_fsync_modes();
+  test_fault_spec_parse();
+  test_store_open_enospc();
   return leap::test::failure_count() == 0 ? 0 : 1;
 }
