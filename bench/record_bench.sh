@@ -9,11 +9,18 @@
 # CI artifact, gitignored). A PR that commits its trajectory sets a
 # frozen name instead, e.g. `BENCH_NAME=BENCH_PR7 bench/record_bench.sh`.
 #
-# Four sweeps feed the file:
+# Five sweeps feed the file:
 #   * bench/abl_shard.cpp — leap::ShardedMap at S = 1..64 shards,
 #     8 threads, read-mostly and mixed. The *_scaling ratios (top S
 #     over S = 1, same machine, same run) are the portable signal —
 #     absolute ops/sec are machine-dependent.
+#   * bench/abl_rqspan.cpp (PR 10) — range-query span sweep plus the
+#     bundled-references crossover: one 8-shard ShardedMap under 50%
+#     range / 50% modify, the TM-stitched transactional scan vs the
+#     for_range_bundled as-of walk on the same map. Both sides are
+#     linearizable; bundled_over_stitched_spanN per span width is the
+#     portable signal (the as-of walk never aborts, so its edge grows
+#     with span and update pressure).
 #   * bench/net_loadgen.cpp --sweep — leapd over loopback, a
 #     threads × pipeline grid (1/4/8 clients, unpipelined vs depth 16),
 #     throughput + p50/p99/p999 per point. The pipelined-vs-unpipelined
@@ -49,6 +56,7 @@ BUILD="${1:-"$ROOT/build"}"
 NAME="${BENCH_NAME:-BENCH_LATEST}"
 OUT="$ROOT/$NAME.json"
 CUR_SHARD="$(mktemp)"
+CUR_RQSPAN="$(mktemp)"
 CUR_NET="$(mktemp)"
 CUR_CURVE_ON="$(mktemp)"
 CUR_CURVE_OFF="$(mktemp)"
@@ -61,13 +69,13 @@ cleanup() {
   if [[ -n "$SERVER_PID" ]] && kill -0 "$SERVER_PID" 2>/dev/null; then
     kill -9 "$SERVER_PID" 2>/dev/null || true
   fi
-  rm -f "$CUR_SHARD" "$CUR_NET" "$CUR_CURVE_ON" "$CUR_CURVE_OFF" \
-    "$CUR_TRIAL" "$SERVER_LOG"
+  rm -f "$CUR_SHARD" "$CUR_RQSPAN" "$CUR_NET" "$CUR_CURVE_ON" \
+    "$CUR_CURVE_OFF" "$CUR_TRIAL" "$SERVER_LOG"
   [[ -n "$DATADIR" ]] && rm -rf "$DATADIR"
 }
 trap cleanup EXIT
 
-for bin in abl_shard leapd leap-loadgen; do
+for bin in abl_shard abl_rqspan leapd leap-loadgen; do
   if [[ ! -x "$BUILD/$bin" ]]; then
     echo "record_bench: $BUILD/$bin not built (cmake --build $BUILD)" >&2
     exit 1
@@ -114,6 +122,9 @@ stop_leapd() {
 
 # --- sweep 1: shard scaling -------------------------------------------
 LEAP_BENCH_JSON="$CUR_SHARD" "$BUILD/abl_shard"
+
+# --- sweep 1b: range-query span + bundled-vs-stitched crossover -------
+LEAP_BENCH_JSON="$CUR_RQSPAN" "$BUILD/abl_rqspan"
 
 # --- sweep 2: serving layer over loopback -----------------------------
 start_leapd
@@ -256,6 +267,10 @@ REPLAY_MS=$((RESTART_MS > BASELINE_MS ? RESTART_MS - BASELINE_MS : 0))
   echo '  "shard_sweep_workload": "1 structure, 100K keys, 8 threads; read-mostly 90/0/10 and mixed 40/30/30; sharded LT / tm / rwlock",'
   echo -n '  "shard_sweep": '
   sed 's/^/  /' "$CUR_SHARD" | sed '1s/^  //'
+  echo ','
+  echo '  "rqspan_workload": "one structure, 100K keys, max threads; sweep 1: 100% range queries, LT vs skip baselines, per span; sweep 2 (crossover): 50% range / 50% modify on one 8-shard ShardedMap, TM-stitched transactional scan vs for_range_bundled as-of walk on the SAME map (both linearizable), plus sharded-LT bundled-native; the bundled_over_stitched_spanN ratios are the portable signal",'
+  echo -n '  "rqspan": '
+  sed 's/^/  /' "$CUR_RQSPAN" | sed '1s/^  //'
   echo ','
   echo '  "net_sweep_workload": "leapd over loopback, 2 workers, 8 shards; threads x pipeline grid, default mix; p50/p99/p999 per point",'
   echo -n '  "net_sweep": '

@@ -43,6 +43,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "leaplist/bundle.hpp"
 #include "leaplist/txn.hpp"
 #include "stm/stm.hpp"
 #include "util/ebr.hpp"
@@ -187,12 +188,25 @@ struct Params {
 /// lock — don't carry it. Blocks come from util::ebr's recycling pool
 /// (make_node) and return to it once a victim's grace period elapses
 /// (recycle_node), so steady-state updates never touch the heap.
+/// birth_ts value of a node not yet published: as-of scans reject it as
+/// a walk start until the publishing commit stamps the real timestamp.
+inline constexpr std::uint64_t kUnbornTs = ~std::uint64_t{0};
+
 struct Node {
   Key high;                      // inclusive upper bound of the key range
   std::uint32_t count;           // live pairs
   const std::uint32_t capacity;  // trailing key/value slots
   const std::int32_t level;      // index levels this node is linked at
   std::atomic<bool> live{true};
+  /// Commit timestamp of the swap that published this node (kUnbornTs
+  /// until then). A node with birth_ts <= ts that is unmarked — or was
+  /// marked only after ts — was on the level-0 chain at instant ts.
+  std::atomic<std::uint64_t> birth_ts{kUnbornTs};
+  /// Timestamped history of this node's level-0 link (bundled
+  /// references): newest entry first, maintained inside the publishing
+  /// commit's TL2 publish window, pruned against the oldest announced
+  /// scan timestamp.
+  std::atomic<bundle::Entry*> bundle0{nullptr};
 
   Node(std::uint32_t capacity_in, int level_in, Key high_in)
       : high(high_in),
@@ -294,8 +308,11 @@ inline Node* make_node(std::uint32_t capacity, int level, Key high) {
 
 /// Tear down an unreachable node — never published, or retired and
 /// past its EBR grace period — and hand the block back to the pool.
+/// Bundle entries still chained to the node are unreachable with it
+/// (pruning detaches through the head), so they free directly.
 inline void destroy_node(Node* node) noexcept {
   if (node == nullptr) return;
+  bundle::free_all(node->bundle0);
   util::ebr::pool_free(node, node->alloc_bytes());
 }
 
@@ -463,6 +480,11 @@ class LeapListBase {
       first->next(i).init(util::to_word(tail_));
       tail_->next(i).init(0);
     }
+    head_->birth_ts.store(0, std::memory_order_relaxed);
+    first->birth_ts.store(0, std::memory_order_relaxed);
+    tail_->birth_ts.store(0, std::memory_order_relaxed);
+    bundle::insert(head_->bundle0, 0, first);
+    bundle::insert(first->bundle0, 0, tail_);
   }
 
   ~LeapListBase() {
@@ -524,6 +546,19 @@ class LeapListBase {
     for (int i = 0; i < params_.max_level; ++i) {
       last[i]->next(i).init(util::to_word(tail_));
     }
+    // Rebase the bundle layer on the rebuilt chain. bulk_load's
+    // quiescence contract means no scan is pinned at an older
+    // timestamp, so the head's previous history (whose targets were
+    // just destroyed) is dropped rather than pruned.
+    const std::uint64_t ts0 = stm::clock_now();
+    bundle::free_all(head_->bundle0);
+    head_->birth_ts.store(0, std::memory_order_relaxed);
+    bundle::insert(head_->bundle0, ts0, nodes.front());
+    for (std::size_t j = 0; j < nodes.size(); ++j) {
+      Node* succ = j + 1 < nodes.size() ? nodes[j + 1] : tail_;
+      nodes[j]->birth_ts.store(ts0, std::memory_order_relaxed);
+      bundle::insert(nodes[j]->bundle0, ts0, succ);
+    }
   }
 
   /// Quiescent structural invariant check (tests / debugging only).
@@ -551,6 +586,21 @@ class LeapListBase {
         level_prev = n->high;
       }
     }
+    // Bundle invariants, quiescent: every on-chain node's newest entry
+    // matches its current level-0 link (every link change inserts at
+    // the same commit), and entry timestamps strictly decrease.
+    for (Node* n = head_; n != tail_; n = data_next(n)) {
+      const bundle::Entry* e =
+          n->bundle0.load(std::memory_order_acquire);
+      if (e == nullptr) return false;
+      if (e->target != static_cast<void*>(data_next(n))) return false;
+      std::uint64_t prev_ts = e->ts;
+      for (const bundle::Entry* o = e->older.load(std::memory_order_acquire);
+           o != nullptr; o = o->older.load(std::memory_order_acquire)) {
+        if (o->ts >= prev_ts) return false;
+        prev_ts = o->ts;
+      }
+    }
     return true;
   }
 
@@ -563,7 +613,112 @@ class LeapListBase {
     return total;
   }
 
+  // --- Bundled-reference (as-of) range scans -------------------------
+  //
+  // Timestamped scans work on EVERY variant: updates maintain the
+  // level-0 bundles inside their publish commits regardless of policy,
+  // so a reader that pins a timestamp walks the chain exactly as it
+  // was at that instant — no STM transaction, no validation, no
+  // retries against concurrent updaters. ShardedMap replays ONE pinned
+  // timestamp across all shards, which is what makes stitched scans
+  // linearizable on LT/COP/RW (policy::TM keeps its transactional
+  // stitch for composability).
+
+  /// One attempt at visiting [low, high] as of `ts`. The caller owns
+  /// the pin (bundle::ScanPin) whose announce protocol guarantees the
+  /// needed history is retained; returns false on the defensive-restart
+  /// path (pruned-past lookup), after which the caller re-pins a fresh
+  /// timestamp. `stopped` reports a visitor early exit (scan delivered
+  /// a consistent prefix and stopped).
+  template <typename F>
+  bool try_for_range_asof(std::uint64_t ts, Key low, Key high, F& fn,
+                          std::size_t& count, bool& stopped) const {
+    const SearchResult sr =
+        search_predecessors(head_, params_.max_level, low);
+    const Node* x = head_;
+    for (int i = 0; i < params_.max_level; ++i) {
+      if (asof_start_ok(sr.pa[i], ts)) {
+        x = sr.pa[i];
+        break;
+      }
+    }
+    while (true) {
+      const Node* n = succ_at(x, ts);
+      if (n == nullptr) return false;
+      if (n == tail_) return true;
+      if (n->high_raw() >= low) {
+        if (!visit_node(n, low, high, fn, count)) {
+          stopped = true;
+          return true;
+        }
+        if (n->high_raw() >= high) return true;
+      }
+      x = n;
+    }
+  }
+
+  /// Pin a timestamp and visit [low, high] as of it. Linearizes at the
+  /// pin's clock read; the committed visitation is one consistent
+  /// snapshot. Same visitor contract as for_range (on_restart fires on
+  /// the defensive-restart path).
+  template <typename F>
+  std::size_t for_range_asof(Key low, Key high, F&& fn) const {
+    bundle::ScanPin pin;
+    while (true) {
+      detail::visit_restart(fn);
+      std::size_t count = 0;
+      bool stopped = false;
+      if (try_for_range_asof(pin.ts(), low, high, fn, count, stopped)) {
+        return count;
+      }
+      pin.refresh();
+    }
+  }
+
+  /// Longest level-0 bundle on the current chain (tests/debug).
+  std::size_t debug_max_bundle() const {
+    std::size_t max = 0;
+    for (Node* n = head_; n != tail_; n = data_next(n)) {
+      max = std::max(max, bundle::length(n->bundle0));
+    }
+    return max;
+  }
+
+  /// Prune every on-chain bundle against the oldest announced scan
+  /// timestamp (tests and maintenance sweeps; the insert path prunes
+  /// incrementally on its own).
+  void bundle_prune_all() {
+    util::ebr::Guard guard;
+    const std::uint64_t min = bundle::min_active_ts();
+    for (Node* n = head_; n != tail_; n = data_next(n)) {
+      bundle::prune(n->bundle0, min);
+    }
+  }
+
  protected:
+  /// True when `x` is a safe as-of walk start: published at or before
+  /// `ts`, and still on the chain at `ts` (unmarked now, or marked only
+  /// by a commit newer than ts). head_ always qualifies.
+  static bool asof_start_ok(const Node* x, std::uint64_t ts) {
+    if (x->birth_ts.load(std::memory_order_acquire) > ts) return false;
+    std::uint64_t version = 0;
+    const std::uint64_t word = x->next(0).snapshot_word(version);
+    return !util::is_marked(word) || version > ts;
+  }
+
+  /// `x`'s level-0 successor at instant `ts` (x must have been on the
+  /// chain at ts). Current link when its last change is <= ts, bundle
+  /// lookup otherwise; nullptr means the needed history is gone and the
+  /// scan must restart with a fresh timestamp.
+  static const Node* succ_at(const Node* x, std::uint64_t ts) {
+    std::uint64_t version = 0;
+    const std::uint64_t word = x->next(0).snapshot_word(version);
+    if (version <= ts) {
+      if (util::is_marked(word)) return nullptr;
+      return util::to_ptr<Node>(word);
+    }
+    return static_cast<const Node*>(bundle::find(x->bundle0, ts));
+  }
   /// Replacement plan for one update: n1 (always) and n2 (splits only),
   /// plus how many index levels the swing must rewrite.
   struct Replacement {
@@ -765,6 +920,29 @@ class LeapListBase {
     for (int i = 0; i < n->level; ++i) {
       n->next(i).tx_write(tx, util::with_mark(n->next(i).tx_read(tx)));
     }
+    // Bundle publication: runs in the TL2 publish window (values
+    // stored, versioned locks still held), so the entries carry the
+    // commit timestamp and are visible before any seqlock reader can
+    // observe that version on the links. Targets are read back from
+    // the stored words rather than captured — a composed transaction
+    // may rewire the same link again at the same timestamp, and only
+    // the final state exists at wv (bundle::insert overwrites the
+    // equal-ts head entry).
+    Node* pred = sr.pa[0];
+    tx.defer_on_publish([pred, n1, n2](std::uint64_t wv) {
+      const auto stored = [](const Node* node) {
+        return util::to_ptr<Node>(
+            util::without_mark(node->next(0).load_word()));
+      };
+      n1->birth_ts.store(wv, std::memory_order_relaxed);
+      bundle::insert(n1->bundle0, wv, stored(n1));
+      if (n2 != nullptr) {
+        n2->birth_ts.store(wv, std::memory_order_relaxed);
+        bundle::insert(n2->bundle0, wv, stored(n2));
+      }
+      bundle::insert(pred->bundle0, wv, stored(pred));
+      bundle::maybe_prune(pred->bundle0);
+    });
   }
 
   /// In-transaction validation that the searched window is unchanged:
@@ -1024,38 +1202,16 @@ class LeapListLT : public LeapListBase {
     return n->values()[idx];
   }
 
-  /// Linearizable range visitation: one transactional read per node hop
-  /// (≈ one instrumented access per K keys); commit validates the hop
-  /// chain, and immutable content makes the snapshot consistent. The
-  /// visitor may stop the scan early (return false) — the hops read so
-  /// far still validate, so the visited prefix is itself a snapshot. An
-  /// attempt that fails validation re-visits from `low` after
-  /// visit_restart. Returns the number of pairs visited.
+  /// Linearizable range visitation via bundled references: pin a
+  /// timestamp, walk each node as of it. No transaction, no commit
+  /// validation, and no retries against concurrent updaters — the scan
+  /// linearizes at the pin's clock read, and immutable node content
+  /// plus the link history makes the visitation one consistent
+  /// snapshot. The visitor may stop the scan early (return false); the
+  /// visited prefix is itself a snapshot at the pinned instant.
   template <typename F>
   std::size_t for_range(Key low, Key high, F&& fn) const {
-    util::ebr::Guard guard;
-    stm::Tx& tx = stm::tls_tx();
-    while (true) {
-      const SearchResult sr =
-          search_predecessors(head_, params_.max_level, low);
-      Node* start = sr.pa[0];
-      bool restart = false;
-      std::size_t count = 0;
-      stm::atomically(tx, [&](stm::Tx& t) {
-        detail::visit_restart(fn);
-        count = 0;
-        restart = false;
-        Node* n = hop(t, start, restart);
-        if (restart) return;
-        while (true) {
-          if (!visit_node(n, low, high, fn, count)) return;
-          if (n->high_raw() >= high) return;
-          n = hop(t, n, restart);
-          if (restart) return;
-        }
-      });
-      if (!restart) return count;
-    }
+    return for_range_asof(low, high, fn);
   }
 
   /// Legacy bulk form: REPLACES `out` (clears, then collects). New code
@@ -1066,15 +1222,6 @@ class LeapListLT : public LeapListBase {
   }
 
  private:
-  static Node* hop(stm::Tx& tx, Node* from, bool& restart) {
-    const std::uint64_t word = from->next(0).tx_read(tx);
-    if (util::is_marked(word)) {
-      restart = true;
-      return nullptr;
-    }
-    return util::to_ptr<Node>(word);
-  }
-
   bool publish_locked(const SearchResult& sr, Node* n,
                       const Replacement& plan) {
     // Stripe set for the victim + predecessors, deduplicated and taken
@@ -1189,49 +1336,13 @@ class LeapListCOP : public LeapListBase {
     }
   }
 
-  /// Consistency-oblivious range visitation: raw walk invoking the
-  /// visitor as it goes (early exit supported), then one commit
-  /// transaction validating every hop the walk (or its early-exited
-  /// prefix) observed. A failed validation re-visits from `low` after
-  /// visit_restart.
+  /// Range visitation via bundled references (see LeapListLT::for_range
+  /// — the as-of walk is policy-independent): pin a timestamp, walk as
+  /// of it. COP's historical validate-at-commit scan is subsumed; the
+  /// consistency-oblivious discipline lives on in the update paths.
   template <typename F>
   std::size_t for_range(Key low, Key high, F&& fn) const {
-    util::ebr::Guard guard;
-    stm::Tx& tx = stm::tls_tx();
-    std::vector<std::pair<stm::TxField<std::uint64_t>*, std::uint64_t>> hops;
-    while (true) {
-      detail::visit_restart(fn);
-      std::size_t count = 0;
-      hops.clear();
-      const SearchResult sr =
-          search_predecessors(head_, params_.max_level, low);
-      Node* x = sr.pa[0];
-      bool stale = false;
-      while (true) {
-        const std::uint64_t word = x->next(0).load_word();
-        if (util::is_marked(word)) {
-          stale = true;
-          break;
-        }
-        hops.emplace_back(&x->next(0), word);
-        Node* n = util::to_ptr<Node>(word);
-        if (!visit_node(n, low, high, fn, count)) break;
-        if (n->high_raw() >= high) break;
-        x = n;
-      }
-      if (stale) continue;
-      bool valid = false;
-      stm::atomically(tx, [&](stm::Tx& t) {
-        valid = true;
-        for (const auto& [field, word] : hops) {
-          if (field->tx_read(t) != word) {
-            valid = false;
-            return;
-          }
-        }
-      });
-      if (valid) return count;
-    }
+    return for_range_asof(low, high, fn);
   }
 
   /// Legacy bulk form: REPLACES `out` (clears, then collects).
@@ -1318,53 +1429,44 @@ class LeapListTM : public LeapListBase {
 };
 
 /// Global reader-writer-lock baseline (paper's "rwlock" series).
-/// Exclusive writers may edit nodes in place; shared readers see a
-/// quiescent structure, so no marks, transactions, or EBR are needed.
+/// Updates serialize on an exclusive lock; point lookups take it
+/// shared. Publication is copy-node-and-swap through the same
+/// timestamped commit as every other variant (the exclusive lock makes
+/// the transaction conflict-free, so it commits first try), which is
+/// what lets range scans run as lock-free bundled-reference walks —
+/// readers never touch the rwlock, and a stitched multi-shard scan at
+/// one timestamp is linearizable even against writers holding other
+/// shards' locks. The price of the bundle contract: in-place node
+/// edits are gone (content is immutable once published) and victims
+/// retire through EBR instead of being freed inline.
 class LeapListRW : public LeapListBase {
  public:
   using LeapListBase::LeapListBase;
 
   bool insert(Key key, Value value) {
     assert_user_key(key);
+    require_no_open_tx("LeapListRW update");
+    util::ebr::Guard guard;
     std::unique_lock<std::shared_mutex> lk(mu_);
     const SearchResult sr = search_predecessors(head_, params_.max_level, key);
     Node* n = sr.na[0];
-    const int idx = find_in(n, key);
-    if (idx >= 0) {
-      n->values()[idx] = value;
-      return false;
-    }
-    if (n->count < params_.node_size) {
-      // In-place gap insert (exclusive lock, no published-immutability
-      // contract for RW).
-      Key* keys = n->keys();
-      Value* values = n->values();
-      const std::size_t pos = detail::flat_lower_bound(keys, n->count, key);
-      std::copy_backward(keys + pos, keys + n->count, keys + n->count + 1);
-      std::copy_backward(values + pos, values + n->count,
-                         values + n->count + 1);
-      keys[pos] = key;
-      values[pos] = value;
-      ++n->count;
-      return true;
-    }
     const Replacement plan = plan_insert(n, key, value);
-    apply_swap_plain(sr, n, plan);
-    destroy_node(n);
-    return true;
+    publish_exclusive(sr, n, plan);
+    return plan.inserted;
   }
 
   bool erase(Key key) {
+    require_no_open_tx("LeapListRW update");
+    util::ebr::Guard guard;
     std::unique_lock<std::shared_mutex> lk(mu_);
     const SearchResult sr = search_predecessors(head_, params_.max_level, key);
     Node* n = sr.na[0];
-    const int idx = find_in(n, key);
-    if (idx < 0) return false;
-    Key* keys = n->keys();
-    Value* values = n->values();
-    std::copy(keys + idx + 1, keys + n->count, keys + idx);
-    std::copy(values + idx + 1, values + n->count, values + idx);
-    --n->count;
+    Node* n1 = plan_erase(n, key);
+    if (n1 == nullptr) return false;
+    Replacement plan;
+    plan.n1 = n1;
+    plan.link_top = n->level;
+    publish_exclusive(sr, n, plan);
     return true;
   }
 
@@ -1377,20 +1479,11 @@ class LeapListRW : public LeapListBase {
     return n->values()[idx];
   }
 
-  /// Range visitation under the shared lock: no restarts ever happen,
-  /// so the visitor runs exactly once per pair.
+  /// Range visitation via bundled references: lock-free for readers —
+  /// the scan pins a timestamp and never takes the rwlock at all.
   template <typename F>
   std::size_t for_range(Key low, Key high, F&& fn) const {
-    std::shared_lock<std::shared_mutex> lk(mu_);
-    const SearchResult sr = search_predecessors(head_, params_.max_level, low);
-    Node* n = sr.na[0];
-    std::size_t count = 0;
-    while (true) {
-      if (!visit_node(n, low, high, fn, count)) break;
-      if (n->high_raw() >= high) break;
-      n = data_next(n);
-    }
-    return count;
+    return for_range_asof(low, high, fn);
   }
 
   /// Legacy bulk form: REPLACES `out` (clears, then collects).
@@ -1400,27 +1493,16 @@ class LeapListRW : public LeapListBase {
   }
 
  private:
-  void apply_swap_plain(const SearchResult& sr, Node* n,
-                        const Replacement& plan) {
-    Node* n1 = plan.n1;
-    Node* n2 = plan.n2;
-    if (n2 != nullptr) {
-      for (int i = 0; i < n2->level; ++i) {
-        n2->next(i).init(n->next(i).load_word());
-      }
-      for (int i = 0; i < n1->level; ++i) {
-        n1->next(i).init(i < n2->level ? util::to_word(n2)
-                                       : util::to_word(sr.na[i]));
-      }
-    } else {
-      for (int i = 0; i < n1->level; ++i) {
-        n1->next(i).init(n->next(i).load_word());
-      }
-    }
-    for (int i = 0; i < plan.link_top; ++i) {
-      Node* target = i < n1->level ? n1 : n2;
-      sr.pa[i]->next(i).store(util::to_word(target));
-    }
+  /// Timestamped publish under the exclusive lock: no other writer can
+  /// exist, so validation is unnecessary and the commit succeeds
+  /// without conflicts — but it still stamps the links and bundles
+  /// with a commit version, which the lock-free scans rely on.
+  void publish_exclusive(const SearchResult& sr, Node* n,
+                         const Replacement& plan) {
+    stm::Tx& tx = stm::tls_tx();
+    stm::atomically(tx, [&](stm::Tx& t) { apply_swap(t, sr, n, plan); });
+    n->live.store(false, std::memory_order_release);
+    util::ebr::retire(n, &recycle_node);
   }
 
   mutable std::shared_mutex mu_;

@@ -200,6 +200,47 @@ class Map {
     return out.size() - sink.base;
   }
 
+  // --- As-of building blocks (bundled-reference stitching) -----------
+  // ShardedMap pins ONE timestamp and replays it across shards through
+  // these; a false return means the bundle history needed at `ts` is
+  // gone and the WHOLE stitched walk restarts with a fresh pin — no
+  // per-shard restart happens here, which is what lets the stitcher
+  // deliver straight into the caller's visitor without staging.
+
+  /// Visit [low, high] as of the pinned timestamp `ts`, delivering into
+  /// `fn` and accumulating into `delivered`. Sets `stopped` when the
+  /// visitor ended the scan early.
+  template <typename F>
+  bool try_for_range_at(std::uint64_t ts, const K& low, const K& high,
+                        F& fn, std::size_t& delivered, bool& stopped) const
+    requires requires(const engine_type& e) { e.debug_max_bundle(); }
+  {
+    Decoded<F> visitor{fn};
+    return engine_.try_for_range_asof(ts, KeyCodec::encode(low),
+                                      KeyCodec::encode(high), visitor,
+                                      delivered, stopped);
+  }
+
+  /// Append up to `limit` pairs with key >= low as of `ts` onto `out`.
+  /// Sets `filled` when the limit was reached. The caller owns rolling
+  /// `out` back across stitched-walk retries.
+  bool try_scan_at(std::uint64_t ts, const K& low, std::size_t limit,
+                   std::vector<value_type>& out, bool& filled) const
+    requires requires(const engine_type& e) { e.debug_max_bundle(); }
+  {
+    BoundedAppend sink{out, out.size(), limit};
+    Decoded<BoundedAppend> visitor{sink};
+    std::size_t delivered = 0;
+    bool stopped = false;
+    if (!engine_.try_for_range_asof(ts, KeyCodec::encode(low),
+                                    core::kSentinelKey - 1, visitor,
+                                    delivered, stopped)) {
+      return false;
+    }
+    filled = stopped;
+    return true;
+  }
+
   /// A materialized snapshot of [low, high]: captured through one
   /// (policy-consistent) range visitation, then iterated with no
   /// further synchronization — safe to hold across later updates.

@@ -20,20 +20,23 @@
 //
 // Point operations route to exactly one shard with zero added
 // synchronization. Cross-shard range queries stitch the shards'
-// visitations in key order; each shard segment is staged while the
-// shard's own attempt may restart, then replayed into the caller's
-// visitor once that shard's visit has committed, so a per-shard restart
-// can never wipe an earlier shard's delivered pairs. Consistency:
+// visitations in key order, and are linearizable on EVERY policy:
 //
 //   policy::TM   the whole stitched scan runs inside ONE leap::txn —
 //                the multi-shard snapshot is linearizable (the paper's
 //                multi-list atomicity applied to partitions). The
 //                transaction may retry; the caller's visitor is rolled
 //                back via its on_restart() hook (leap::append_to has
-//                one), exactly the Map visitor contract.
-//   others       each shard segment is a consistent snapshot of that
-//                shard, but the stitched result is only per-shard
-//                consistent: updates may land between shard visits.
+//                one), exactly the Map visitor contract. Each shard
+//                segment is staged against in-transaction restarts and
+//                replayed once final.
+//   others       bundled references (leaplist/bundle.hpp): the scan
+//                pins ONE global timestamp and walks every covered
+//                shard as of that instant, so the stitched result is a
+//                linearizable multi-shard snapshot with zero reliance
+//                on the STM — the scan linearizes at its clock read.
+//                Restarts (pruned history) re-pin and rerun the whole
+//                stitched walk through the visitor's on_restart hook.
 //
 // For policy::TM the composable `*_in` forms route inside the caller's
 // open transaction, so multi-key operations spanning shards — and whole
@@ -99,6 +102,12 @@ class ShardedMap {
   /// queries and debug sweeps walk every shard in the span.
   static constexpr std::size_t kMaxShards = 4096;
 
+  /// True when the engine maintains bundled references (every leap-list
+  /// policy). Skip-list baselines don't; their non-TM stitched scans
+  /// fall back to per-shard-consistent staging.
+  static constexpr bool kBundled =
+      requires(const typename Policy::engine& e) { e.debug_max_bundle(); };
+
   /// Full-window construction: keys may land anywhere in the codec's
   /// encodable range. Fine for correctness at any distribution, but a
   /// workload confined to a narrow key interval will bucket into few
@@ -134,27 +143,34 @@ class ShardedMap {
   // --- Stitched range queries ----------------------------------------
 
   /// Visit every pair with low <= key <= high in global key order,
-  /// stitching the covered shards' visitations. Same visitor contract
-  /// as leap::Map::for_range — an accumulating visitor needs
-  /// on_restart() (policy::TM retries the whole stitched transaction;
-  /// see the header comment for per-policy consistency). Returns the
-  /// number of pairs delivered.
+  /// stitching the covered shards' visitations into one linearizable
+  /// multi-shard snapshot (one transaction for policy::TM, one pinned
+  /// bundle timestamp otherwise). Same visitor contract as
+  /// leap::Map::for_range — an accumulating visitor needs on_restart().
+  /// Returns the number of pairs delivered.
   template <typename F>
   std::size_t for_range(const K& low, const K& high, F&& fn) const {
-    const core::Key low_word = KeyCodec::encode(low);
-    const core::Key high_word = KeyCodec::encode(high);
-    if (low_word > high_word) return 0;
-    const std::size_t first = route(low_word);
-    const std::size_t last = route(high_word);
     if constexpr (Policy::kComposable) {
+      const core::Key low_word = KeyCodec::encode(low);
+      const core::Key high_word = KeyCodec::encode(high);
+      if (low_word > high_word) return 0;
+      const std::size_t first = route(low_word);
+      const std::size_t last = route(high_word);
       return leap::txn([&](stm::Tx& tx) {
         core::detail::visit_restart(fn);  // per-attempt rollback
         return stitch_in(tx, first, last, low, high, fn);
       });
+    } else if constexpr (kBundled) {
+      return for_range_bundled(low, high, fn);
     } else {
+      // Skip-list baselines: per-shard staging+replay, per-shard
+      // consistent only (the documented pre-bundling semantics).
+      const core::Key low_word = KeyCodec::encode(low);
+      const core::Key high_word = KeyCodec::encode(high);
+      if (low_word > high_word) return 0;
       Staging stage;
       std::size_t delivered = 0;
-      for (std::size_t s = first; s <= last; ++s) {
+      for (std::size_t s = route(low_word); s <= route(high_word); ++s) {
         stage.clear();
         StageVisitor sink{stage};
         shards_[s]->for_range(low, high, sink);
@@ -164,9 +180,43 @@ class ShardedMap {
     }
   }
 
+  /// The bundled-reference stitched walk, available on EVERY bundled
+  /// policy (TM updates maintain bundles too): pin one timestamp,
+  /// deliver each covered shard's as-of visitation straight into `fn`,
+  /// and restart the whole walk with a fresh pin if any shard's history
+  /// at that timestamp was already pruned. This is the non-TM for_range
+  /// path, and on policy::TM it is the STM-free alternative the
+  /// abl_rqspan crossover measures against transactional stitching.
+  template <typename F>
+  std::size_t for_range_bundled(const K& low, const K& high, F&& fn) const
+    requires(kBundled)
+  {
+    const core::Key low_word = KeyCodec::encode(low);
+    const core::Key high_word = KeyCodec::encode(high);
+    if (low_word > high_word) return 0;
+    const std::size_t first = route(low_word);
+    const std::size_t last = route(high_word);
+    bundle::ScanPin pin;
+    while (true) {
+      core::detail::visit_restart(fn);
+      std::size_t delivered = 0;
+      bool stopped = false;
+      bool ok = true;
+      for (std::size_t s = first; s <= last && !stopped; ++s) {
+        if (!shards_[s]->try_for_range_at(pin.ts(), low, high, fn,
+                                          delivered, stopped)) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) return delivered;
+      pin.refresh();
+    }
+  }
+
   /// Bounded stitched scan: APPEND up to `limit` pairs with key >= low
   /// onto `out`, in global key order. One transaction for policy::TM;
-  /// per-shard consistent otherwise.
+  /// one pinned bundle timestamp otherwise — linearizable either way.
   std::size_t scan(const K& low, std::size_t limit,
                    std::vector<value_type>& out) const {
     if (limit == 0) return 0;
@@ -177,6 +227,25 @@ class ShardedMap {
         out.resize(base);  // the closure may re-run after a conflict
         scan_shards_in(tx, first, low, limit, base, out);
       });
+    } else if constexpr (kBundled) {
+      bundle::ScanPin pin;
+      while (true) {
+        out.resize(base);  // rerun after a pruned-history restart
+        bool ok = true;
+        for (std::size_t s = first; s < shards_.size(); ++s) {
+          const std::size_t got = out.size() - base;
+          if (got >= limit) break;
+          bool filled = false;
+          if (!shards_[s]->try_scan_at(pin.ts(), low, limit - got, out,
+                                       filled)) {
+            ok = false;
+            break;
+          }
+          if (filled) break;
+        }
+        if (ok) break;
+        pin.refresh();
+      }
     } else {
       for (std::size_t s = first; s < shards_.size(); ++s) {
         const std::size_t got = out.size() - base;
@@ -188,8 +257,8 @@ class ShardedMap {
   }
 
   /// A materialized snapshot of [low, high] across all covered shards:
-  /// one consistent multi-shard instant for policy::TM, per-shard
-  /// consistent otherwise; iterated with no further synchronization.
+  /// one consistent multi-shard instant on every policy; iterated with
+  /// no further synchronization.
   using Cursor = SnapshotCursor<K, V>;
 
   Cursor snapshot(const K& low, const K& high) const {

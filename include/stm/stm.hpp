@@ -26,6 +26,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <cstring>
 #include <functional>
@@ -41,6 +42,20 @@ class Tx;
 namespace detail {
 
 std::atomic<std::uint64_t>& global_clock() noexcept;
+
+}  // namespace detail
+
+/// Current value of the global version clock. Every committed writer
+/// transaction advances it, and commit_locked stamps the written
+/// fields' versioned locks with the post-advance value — so the clock
+/// doubles as the timestamp authority for bundled references: a
+/// snapshot reader that picks `ts = clock_now()` observes exactly the
+/// writes of transactions with commit version <= ts.
+inline std::uint64_t clock_now() noexcept {
+  return detail::global_clock().load(std::memory_order_seq_cst);
+}
+
+namespace detail {
 
 /// Commit-time gate for the irrevocable fallback. Writer commits hold
 /// it shared for the (short) lock/validate/publish window; the fallback
@@ -78,6 +93,28 @@ class TxFieldBase {
     value_.store(word, std::memory_order_relaxed);
   }
 
+  /// Seqlock-consistent read of (value, commit version): spins while a
+  /// commit holds the field locked, so the returned pair is always a
+  /// committed state — and because commit_locked runs its publish
+  /// actions BEFORE stamping the version, any side state keyed to this
+  /// version (bundled-reference entries) is visible by the time the
+  /// version is observable here.
+  std::uint64_t snapshot_word(std::uint64_t& version) const noexcept {
+    while (true) {
+      const std::uint64_t v1 = vlock_.load(std::memory_order_acquire);
+      if (detail::vlock_locked(v1)) {
+        std::this_thread::yield();
+        continue;
+      }
+      const std::uint64_t word = value_.load(std::memory_order_acquire);
+      const std::uint64_t v2 = vlock_.load(std::memory_order_acquire);
+      if (v1 == v2) {
+        version = detail::vlock_version(v1);
+        return word;
+      }
+    }
+  }
+
   /// Linearizable single-word store: locks the field, publishes, bumps
   /// the global clock so concurrent readers/transactions revalidate.
   void store_word(std::uint64_t word) noexcept {
@@ -105,6 +142,34 @@ class TxFieldBase {
 
 static_assert(std::is_trivially_destructible_v<TxFieldBase>,
               "flat node layouts reclaim TxField arrays as raw blocks");
+
+/// Fixed-inline-buffer callable for publish-time actions. std::function
+/// would heap-allocate for captures past its small-object limit (a
+/// three-pointer bundle capture already overflows libstdc++'s), which
+/// would put one malloc on every update's commit path — this type keeps
+/// the capture inline and trivially copyable instead.
+class PublishAction {
+ public:
+  template <typename F>
+  explicit PublishAction(F f) noexcept {
+    static_assert(sizeof(F) <= sizeof(buf_), "capture exceeds inline buffer");
+    static_assert(alignof(F) <= alignof(std::max_align_t),
+                  "over-aligned capture");
+    static_assert(std::is_trivially_copyable_v<F> &&
+                      std::is_trivially_destructible_v<F>,
+                  "publish actions must capture trivially (pointers/ints)");
+    std::memcpy(buf_, &f, sizeof(F));
+    invoke_ = [](void* raw, std::uint64_t wv) {
+      (*static_cast<F*>(raw))(wv);
+    };
+  }
+
+  void operator()(std::uint64_t wv) { invoke_(buf_, wv); }
+
+ private:
+  void (*invoke_)(void*, std::uint64_t) = nullptr;
+  alignas(std::max_align_t) unsigned char buf_[40];
+};
 
 class Tx {
  public:
@@ -166,6 +231,21 @@ class Tx {
     abort_actions_.push_back(std::move(action));
   }
 
+  /// Publish-time action: runs INSIDE commit_locked, after the write
+  /// set's values are stored but before the versioned locks are stamped
+  /// with the commit version (which is the argument). The written
+  /// fields are still locked at that point, so per-field side state
+  /// updated here (bundled-reference entries keyed by commit version)
+  /// is serialized in commit order and becomes visible to seqlock
+  /// readers no later than the version itself. Actions must be fast and
+  /// must not throw, abort, or touch other TxFields. Stored in a fixed
+  /// inline buffer (no std::function) so registering one is
+  /// allocation-free on the update hot path.
+  template <typename F>
+  void defer_on_publish(F action) {
+    publish_actions_.push_back(PublishAction(std::move(action)));
+  }
+
   bool in_tx() const noexcept { return active_; }
   std::uint64_t commits() const noexcept { return commits_; }
   std::uint64_t aborts() const noexcept { return aborts_; }
@@ -193,6 +273,7 @@ class Tx {
     index_count_ = 0;
     commit_actions_.clear();
     abort_actions_.clear();
+    publish_actions_.clear();
     irrevocable_ = irrevocable;
     active_ = true;
     rv_ = detail::global_clock().load(std::memory_order_acquire);
@@ -211,12 +292,14 @@ class Tx {
     for (auto& action : commit_actions_) action();
     commit_actions_.clear();
     abort_actions_.clear();
+    publish_actions_.clear();
   }
 
   void finish_abort() {
     for (auto& action : abort_actions_) action();
     commit_actions_.clear();
     abort_actions_.clear();
+    publish_actions_.clear();
   }
 
   bool commit() {
@@ -269,6 +352,12 @@ class Tx {
     for (const WriteEntry& w : writes_) {
       w.field->value_.store(w.value, std::memory_order_release);
     }
+    // Publish window: values are in place, versioned locks still held.
+    // Side state stamped with wv here is ordered before any reader can
+    // observe wv on the written fields (snapshot_word spins on the
+    // locks), which is what makes bundle entries race-free without a
+    // pending-entry protocol.
+    for (auto& action : publish_actions_) action(wv);
     for (const WriteEntry& w : writes_) {
       w.field->vlock_.store(detail::make_vlock(wv), std::memory_order_release);
     }
@@ -368,6 +457,7 @@ class Tx {
   std::size_t index_count_ = 0;
   std::vector<std::function<void()>> commit_actions_;
   std::vector<std::function<void()>> abort_actions_;
+  std::vector<PublishAction> publish_actions_;
   std::uint64_t rv_ = 0;
   std::uint64_t commits_ = 0;
   std::uint64_t aborts_ = 0;

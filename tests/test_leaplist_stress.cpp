@@ -188,6 +188,82 @@ void churn_variant(const char* name) {
               leap::util::ebr::pool_enabled() ? "recycling" : "pass-through");
 }
 
+/// Bundle reclamation (PR 10): a long-pinned scanner announces the
+/// oldest timestamp in the system and holds it across a writer churn —
+/// its as-of view must stay frozen (identical on every re-walk) and
+/// its walks must never fail (the announced slot blocks pruning of the
+/// history it needs). After the pin releases, one reclamation sweep
+/// must collapse every bundle back to a single entry — the long
+/// scanner caused growth, not a leak — and the recycled entry blocks
+/// must hold their poison (pool_debug_verify).
+template <typename ListT>
+void bundle_reclaim_variant(const char* name) {
+  constexpr unsigned kWriters = 4;
+  constexpr Key kRange = 256;
+  ListT list(Params{.node_size = 8, .max_level = 6});
+  {
+    std::vector<KV> pairs;
+    for (Key k = 1; k <= kRange; k += 2) pairs.push_back(KV{k, value_for(k)});
+    list.bulk_load(pairs);
+  }
+  std::atomic<bool> stop{false};
+  leap::util::SpinBarrier barrier(kWriters + 1);
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kWriters; ++t) {
+    threads.emplace_back([&, t] {
+      leap::util::Xoshiro256 rng(600 + t);
+      barrier.arrive_and_wait();
+      while (!stop.load(std::memory_order_relaxed)) {
+        const Key key = static_cast<Key>(1 + rng.next_below(kRange));
+        if ((rng.next() & 1) != 0) {
+          list.insert(key, value_for(key));
+        } else {
+          list.erase(key);
+        }
+      }
+    });
+  }
+  const auto walk_at = [&](std::uint64_t ts, std::vector<KV>& out) {
+    out.clear();
+    auto sink = [&](Key k, Value v) { out.push_back(KV{k, v}); };
+    std::size_t count = 0;
+    bool stopped = false;
+    return list.try_for_range_asof(ts, 1, kRange, sink, count, stopped);
+  };
+  {
+    leap::bundle::ScanPin pin;  // the long-pinned scanner
+    std::vector<KV> baseline;
+    CHECK(walk_at(pin.ts(), baseline));
+    barrier.arrive_and_wait();
+    const auto deadline =
+        std::chrono::steady_clock::now() + stress_duration();
+    std::vector<KV> again;
+    while (std::chrono::steady_clock::now() < deadline) {
+      // The pinned view is frozen: same pairs, same order, every time,
+      // no matter how much history the writers pile up meanwhile.
+      CHECK(walk_at(pin.ts(), again));
+      CHECK_EQ(again.size(), baseline.size());
+      for (std::size_t i = 0; i < again.size(); ++i) {
+        CHECK_EQ(again[i].key, baseline[i].key);
+        CHECK_EQ(again[i].value, baseline[i].value);
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }  // pin released: nothing protects the old history anymore
+  stop.store(true, std::memory_order_release);
+  for (auto& thread : threads) thread.join();
+  CHECK(list.debug_validate());
+  const std::size_t held = list.debug_max_bundle();
+  // One explicit sweep with no announced scans collapses every bundle
+  // to its single newest entry — growth under the pin was retention,
+  // not a leak.
+  list.bundle_prune_all();
+  for (int i = 0; i < 4; ++i) leap::util::ebr::collect();
+  CHECK_EQ(list.debug_max_bundle(), std::size_t{1});
+  CHECK(leap::util::ebr::pool_debug_verify());
+  std::printf("  bundle reclaim %s ok (max held %zu -> 1)\n", name, held);
+}
+
 }  // namespace
 
 int main() {
@@ -198,5 +274,9 @@ int main() {
   churn_variant<LeapListLT>("LT");
   churn_variant<LeapListCOP>("COP");
   churn_variant<LeapListTM>("TM");
+  bundle_reclaim_variant<LeapListLT>("LT");
+  bundle_reclaim_variant<LeapListCOP>("COP");
+  bundle_reclaim_variant<LeapListTM>("TM");
+  bundle_reclaim_variant<LeapListRW>("RW");
   return leap::test::finish("test_leaplist_stress");
 }
